@@ -1,0 +1,24 @@
+"""Figure 1: the R1/R2 areas behind the D_P and D_K trigger conditions.
+
+Traces both dynamic triggers through a real run and checks that a load
+balance happens exactly when R1 first reaches R2.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig1(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig1(scale="tiny" if scale == "paper" else scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, results_dir)
+
+    for spec in ("GP-DP", "GP-DK"):
+        r1 = [y for _, y in result.series[f"{spec} R1"]]
+        r2 = [y for _, y in result.series[f"{spec} R2"]]
+        crossings = sum(1 for a, b in zip(r1, r2) if b > 0 and a >= b)
+        assert crossings > 0, f"{spec}: R1 never reached R2"

@@ -1,0 +1,29 @@
+"""Figure 3: (N_lb(nGP) - N_lb(GP)) versus the static threshold x.
+
+The gap is ~0 at x = 0.50 and grows with both x and W — Section 4.2's
+"saturation" discussion made measurable.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig3(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig3(scale=scale), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    sizes = sorted(result.series, key=lambda k: int(k.split("=")[1]))
+    # Gap grows with x for the largest problem.
+    largest = result.series[sizes[-1]]
+    assert largest[-1][1] > largest[0][1]
+    # Gap at the highest threshold grows with W.
+    final_gaps = [result.series[k][-1][1] for k in sizes]
+    assert final_gaps[-1] > final_gaps[0]
+    # Gap near zero at x = 0.50 for every W.
+    for k in sizes:
+        x0, gap0 = result.series[k][0]
+        assert x0 == 0.5
+        assert abs(gap0) <= 0.2 * max(10.0, abs(largest[-1][1]))

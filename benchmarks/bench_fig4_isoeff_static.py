@@ -1,0 +1,41 @@
+"""Figure 4: experimental isoefficiency curves, static triggering.
+
+GP-S0.90 must track O(P log P); nGP at rising x must not do *better*
+than GP (its required W inflates with its V(P) bound).
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+GRIDS = {
+    "tiny": dict(pes=[32, 64, 128], ratios=[8, 16, 32, 64, 128], targets=[0.6, 0.7]),
+    "small": dict(
+        pes=[64, 128, 256, 512],
+        ratios=[4, 8, 16, 32, 64, 128, 256],
+        targets=[0.6, 0.7, 0.8],
+    ),
+    "paper": dict(
+        pes=[512, 1024, 2048, 4096, 8192],
+        ratios=[4, 8, 16, 32, 64, 128, 256],
+        targets=[0.6, 0.7, 0.8],
+    ),
+}
+
+
+def test_fig4(benchmark, scale, results_dir):
+    grid = GRIDS[scale]
+    result = benchmark.pedantic(
+        lambda: figures.fig4(**grid), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    exponents = {}
+    for note in result.notes:
+        if "~ (P log P)^" in note:
+            label = note.split(":")[0]
+            exponents[label] = float(note.rsplit("^", 1)[1])
+    gp_keys = [k for k in exponents if k.startswith("GP-S0.90")]
+    assert gp_keys, "GP-S0.90 produced no isoefficiency curves"
+    for k in gp_keys:
+        assert 0.6 < exponents[k] < 1.5, f"{k}: exponent {exponents[k]}"

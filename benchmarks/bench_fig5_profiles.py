@@ -1,0 +1,27 @@
+"""Figure 5: decay profiles and the D_P pathology.
+
+On the gradual profile both triggers fire; on the cliff profile with a
+load-balancing cost exceeding the cliff's area, D_P never fires while
+D_K still does (Section 6.1, observation 3).
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig5(benchmark, scale, results_dir):
+    n_pes = 8192 if scale == "paper" else 1024
+    result = benchmark.pedantic(
+        lambda: figures.fig5(n_pes=n_pes, n_cycles=2000), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    notes = "\n".join(result.notes)
+    assert "gradual (5a): DP fires at" in notes
+    assert "cliff area" in notes
+    pathology = [n for n in result.notes if "cliff area" in n]
+    dp_note = next(n for n in pathology if ": DP" in n)
+    dk_note = next(n for n in pathology if ": DK" in n)
+    assert "NEVER" in dp_note, "D_P should starve when L exceeds the cliff area"
+    assert "NEVER" not in dk_note, "D_K must still fire"

@@ -1,0 +1,20 @@
+"""Figure 6 / Section 6.2: the D_K overhead guarantee.
+
+D_K's idling-plus-balancing overhead must stay below twice the optimal
+static trigger's for every problem size.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig6(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig6(scale=scale), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    for w, ratio in result.series["GP-DK vs GP-Sxo"]:
+        assert ratio < 2.0, f"W={w}: D_K overhead ratio {ratio} breaks the bound"
+    assert all("OK" in n for n in result.notes)

@@ -1,0 +1,40 @@
+"""Figure 7: experimental isoefficiency curves, dynamic triggering.
+
+GP under either dynamic trigger stays near O(P log P); nGP-D_P (the
+most balance-happy combination) must not beat GP-D_K's growth.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+GRIDS = {
+    "tiny": dict(pes=[32, 64, 128], ratios=[8, 16, 32, 64, 128], targets=[0.7]),
+    "small": dict(
+        pes=[64, 128, 256, 512],
+        ratios=[4, 8, 16, 32, 64, 128, 256],
+        targets=[0.7, 0.8],
+    ),
+    "paper": dict(
+        pes=[512, 1024, 2048, 4096, 8192],
+        ratios=[4, 8, 16, 32, 64, 128, 256],
+        targets=[0.7, 0.8],
+    ),
+}
+
+
+def test_fig7(benchmark, scale, results_dir):
+    grid = GRIDS[scale]
+    result = benchmark.pedantic(
+        lambda: figures.fig7(**grid), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    exponents = {}
+    for note in result.notes:
+        if "~ (P log P)^" in note:
+            exponents[note.split(":")[0]] = float(note.rsplit("^", 1)[1])
+    gp_dk = [k for k in exponents if k.startswith("GP-DK")]
+    assert gp_dk, "GP-DK produced no isoefficiency curves"
+    for k in gp_dk:
+        assert 0.6 < exponents[k] < 1.5, f"{k}: exponent {exponents[k]}"

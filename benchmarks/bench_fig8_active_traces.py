@@ -1,0 +1,37 @@
+"""Figure 8: active-PE traces for GP-D_P vs GP-D_K at 1x and 16x LB cost.
+
+At the actual cost the two traces look alike (Figures 8a/8b); at 16x,
+D_P triggers at visibly lower activity than D_K (Figures 8c/8d), the
+consequence of comparing work-surplus area against an inflated L.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def _lowest_trigger_level(notes, spec, tag):
+    for n in notes:
+        if n.startswith(f"{spec} ({tag})") and "lowest busy" in n:
+            return int(n.split("trigger = ")[1].split(",")[0])
+    return None
+
+
+def test_fig8(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: figures.fig8(scale=scale, seed=1), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    assert len(result.series) == 4
+    # All four traces decay from high activity to exhaustion.
+    for label, pts in result.series.items():
+        ys = [y for _, y in pts]
+        assert max(ys) > 0, label
+
+    # Efficiency ordering encoded in the notes: DK >= DP at 16x.
+    effs = {}
+    for n in result.notes:
+        spec_tag = n.split(":")[0]
+        effs[spec_tag] = float(n.rsplit("E = ", 1)[1])
+    assert effs["GP-DK (16x)"] >= 0.9 * effs["GP-DP (16x)"]

@@ -1,0 +1,66 @@
+"""Section 9: SIMD scalability parity with MIMD work stealing.
+
+Measures isoefficiency growth for GP-S^0.85 on the SIMD machine and for
+asynchronous GRR work stealing, on the same (P, W) grid.  The paper's
+conclusion: "there are algorithms for parallel search of unstructured
+trees, with similar scalability, for both MIMD and SIMD computers."
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis.isoefficiency import growth_exponent, isoefficiency_points
+from repro.baselines.mimd import MimdWorkStealing
+from repro.experiments.report import SeriesResult
+from repro.experiments.runner import run_divisible
+
+GRIDS = {
+    "tiny": dict(pes=[32, 64, 128], ratios=[8, 16, 32, 64, 128]),
+    "small": dict(pes=[64, 128, 256, 512], ratios=[8, 16, 32, 64, 128]),
+    "paper": dict(pes=[256, 512, 1024, 2048, 4096], ratios=[8, 16, 32, 64, 128]),
+}
+TARGET_E = 0.7
+
+
+def test_mimd_parity(benchmark, scale, results_dir):
+    grid = GRIDS[scale]
+
+    def measure():
+        simd_records, mimd_records = [], []
+        for p in grid["pes"]:
+            for r in grid["ratios"]:
+                w = int(r * p * math.log2(p))
+                simd = run_divisible("GP-S0.85", w, p, seed=3)
+                simd_records.append((p, float(w), simd.efficiency))
+                mimd = MimdWorkStealing(w, p, policy="grr", rng=3).run()
+                mimd_records.append((p, float(w), mimd.efficiency))
+        return simd_records, mimd_records
+
+    simd_records, mimd_records = benchmark.pedantic(measure, rounds=1, iterations=1)
+    simd_pts = isoefficiency_points(simd_records, TARGET_E)
+    mimd_pts = isoefficiency_points(mimd_records, TARGET_E)
+    assert len(simd_pts) >= 3 and len(mimd_pts) >= 3
+
+    b_simd = growth_exponent(simd_pts)
+    b_mimd = growth_exponent(mimd_pts)
+    result = SeriesResult(
+        exp_id="mimd_parity",
+        title=f"Isoefficiency at E={TARGET_E}: SIMD GP-S0.85 vs MIMD GRR stealing",
+        x_label="P",
+        y_label="W required",
+        series={
+            "SIMD GP-S0.85": [(float(p), w) for p, w in simd_pts],
+            "MIMD GRR": [(float(p), w) for p, w in mimd_pts],
+        },
+        notes=[
+            f"SIMD growth: W ~ (P log P)^{b_simd:.2f}",
+            f"MIMD growth: W ~ (P log P)^{b_mimd:.2f}",
+            "paper's claim: similar scalability on both architectures",
+        ],
+    )
+    emit(result, results_dir)
+
+    assert 0.5 < b_simd < 1.6
+    assert 0.5 < b_mimd < 1.6
+    assert abs(b_simd - b_mimd) < 0.6

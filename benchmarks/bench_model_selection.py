@@ -1,0 +1,52 @@
+"""Scaling-law model selection on measured isoefficiency curves.
+
+Strengthens the Figure 4 / Table 6 analysis: instead of fitting one
+exponent, rank all candidate laws (P, P log P, P log^3 P, P^1.5 log P,
+P^2) on the measured GP-S0.90 isoefficiency curve and confirm that
+P log P is the best-shaped explanation on the CM-2 cost model while the
+quadratic law is clearly wrong.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis.isoefficiency import isoefficiency_points
+from repro.analysis.regression import select_model
+from repro.experiments.report import TableResult
+from repro.experiments.runner import run_grid
+
+PES = [64, 128, 256, 512, 1024]
+RATIOS = [4, 8, 16, 32, 64, 128]
+TARGET = 0.7
+
+
+def test_model_selection(benchmark, results_dir):
+    def measure():
+        records = []
+        for p in PES:
+            works = [int(r * p * math.log2(p)) for r in RATIOS]
+            records.extend(run_grid(["GP-S0.90"], works, [p], base_seed=4))
+        triples = [(r.n_pes, float(r.total_work), r.efficiency) for r in records]
+        points = isoefficiency_points(triples, TARGET)
+        assert len(points) >= 4
+        return select_model(points)
+
+    fits = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        [f.model, round(f.exponent, 3), round(f.rmse, 4)] for f in fits
+    ]
+    result = TableResult(
+        exp_id="model_selection",
+        title=f"Scaling-law ranking for GP-S0.90 at E={TARGET} (CM-2 cost model)",
+        headers=["model", "exponent", "log-RMSE"],
+        rows=rows,
+        notes=["exponent ~1.0 means the model's nominal shape is exact"],
+    )
+    emit(result, results_dir)
+
+    ranking = [f.model for f in fits]
+    assert ranking[0] == "PlogP", f"expected P log P best, got {ranking}"
+    assert ranking.index("P2") > ranking.index("PlogP")
+    best = fits[0]
+    assert 0.85 < best.exponent < 1.15

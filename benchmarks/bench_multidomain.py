@@ -1,0 +1,85 @@
+"""Multi-domain validation: one balancer, five problem families.
+
+The paper's introduction claims tree search underlies AI, combinatorial
+optimization, and OR workloads alike; this bench runs the same GP-DK
+balancer across every bundled domain and asserts the anomaly-free
+invariant (parallel results == serial ground truth) on each.
+"""
+
+from conftest import emit
+
+from repro.experiments.report import TableResult
+from repro.problems.coloring import GraphColoringProblem
+from repro.problems.fifteen_puzzle import BENCH_INSTANCES
+from repro.problems.knapsack import KnapsackProblem
+from repro.problems.nqueens import NQueensProblem
+from repro.problems.synthetic import SyntheticTreeProblem
+from repro.search.branch_and_bound import ParallelDFBB
+from repro.search.ida_star import ida_star
+from repro.search.parallel import ParallelIDAStar, parallel_depth_bounded
+from repro.search.serial import depth_bounded_dfs
+
+N_PES = 32
+SCHEME = "GP-DK"
+
+
+def test_multidomain_validation(benchmark, scale, results_dir):
+    def run_all():
+        rows = []
+
+        puzzle = BENCH_INSTANCES["tiny" if scale == "tiny" else "small"]
+        serial = ida_star(puzzle)
+        par = ParallelIDAStar(puzzle, N_PES, SCHEME, init_threshold=0.85).run()
+        assert par.total_expanded == serial.total_expanded
+        rows.append(
+            ["15-puzzle", par.total_expanded, f"cost={par.solution_cost}",
+             round(par.metrics.efficiency, 3)]
+        )
+
+        queens = NQueensProblem(9)
+        s_q = ida_star(queens)
+        p_q = ParallelIDAStar(queens, N_PES, SCHEME, init_threshold=0.85).run()
+        assert p_q.solutions == s_q.solutions == 352
+        rows.append(
+            ["9-queens", p_q.total_expanded, f"solutions={p_q.solutions}",
+             round(p_q.metrics.efficiency, 3)]
+        )
+
+        coloring = GraphColoringProblem.random(11, 4, rng=8)
+        s_c = ida_star(coloring)
+        p_c = ParallelIDAStar(coloring, N_PES, SCHEME, init_threshold=0.85).run()
+        assert p_c.solutions == s_c.solutions
+        rows.append(
+            ["4-coloring", p_c.total_expanded, f"colorings={p_c.solutions}",
+             round(p_c.metrics.efficiency, 3)]
+        )
+
+        tree = SyntheticTreeProblem(42, max_branching=4, depth_limit=11)
+        s_t = depth_bounded_dfs(tree, 11)
+        wl, m_t = parallel_depth_bounded(
+            tree, 11, N_PES, SCHEME, init_threshold=0.85
+        )
+        assert wl.expanded == s_t.expanded
+        rows.append(
+            ["synthetic tree", wl.expanded, "exhaustive", round(m_t.efficiency, 3)]
+        )
+
+        knap = KnapsackProblem.random(20, rng=9)
+        p_k = ParallelDFBB(knap, N_PES, SCHEME, init_threshold=0.85).run()
+        assert p_k.best_value == knap.solve_dp()
+        rows.append(
+            ["knapsack (DFBB)", p_k.total_expanded,
+             f"optimum={p_k.best_value:.0f}", round(p_k.metrics.efficiency, 3)]
+        )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    result = TableResult(
+        exp_id="multidomain",
+        title=f"One balancer ({SCHEME}), five domains, P={N_PES}",
+        headers=["domain", "W", "result", "E"],
+        rows=rows,
+        notes=["every domain's parallel result equals its serial ground truth"],
+    )
+    emit(result, results_dir)
+    assert len(rows) == 5

@@ -1,0 +1,44 @@
+"""Speedup curves at fixed W (extension of the Section 3 framework).
+
+The complementary view of the isoefficiency figures: holding W fixed,
+speedup must saturate as P grows — and GP must hold its curve above
+nGP at the thresholds where their overheads diverge.
+"""
+
+from conftest import emit
+
+from repro.experiments.speedup import speedup_curves
+
+GRIDS = {
+    "tiny": (100_000, [16, 32, 64, 128, 256]),
+    "small": (1_000_000, [32, 64, 128, 256, 512, 1024]),
+    "paper": (16_110_463, [256, 512, 1024, 2048, 4096, 8192]),
+}
+
+
+def test_speedup_curves(benchmark, scale, results_dir):
+    work, pes = GRIDS[scale]
+    result = benchmark.pedantic(
+        lambda: speedup_curves(
+            ["GP-S0.90", "nGP-S0.90", "GP-DK"], work, pes, seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, results_dir)
+
+    for name, pts in result.series.items():
+        if name == "ideal":
+            continue
+        for p, s in pts:
+            assert 0 < s <= p + 1e-9, f"{name} at P={p}"
+
+    # Efficiency falls with P at fixed W (the isoefficiency premise).
+    gp = result.series["GP-S0.90"]
+    assert gp[-1][1] / gp[-1][0] < gp[0][1] / gp[0][0]
+
+    # GP at x=0.90 beats nGP at the largest machine, where nGP's extra
+    # phases bite hardest.
+    gp_last = result.series["GP-S0.90"][-1][1]
+    ngp_last = result.series["nGP-S0.90"][-1][1]
+    assert gp_last >= ngp_last

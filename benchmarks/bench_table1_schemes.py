@@ -1,0 +1,29 @@
+"""Table 1: the scheme registry, smoke-run and timed.
+
+Regenerates the scheme taxonomy with live metrics and micro-benchmarks
+one full GP-DK run (the paper's recommended scheme) at the bench scale.
+"""
+
+from conftest import emit
+
+from repro.experiments import tables
+from repro.experiments.runner import SCALES, run_divisible
+
+
+def test_table1(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: tables.table1(scale=scale), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 6
+    emit(result, results_dir)
+
+
+def test_gp_dk_run_throughput(benchmark, scale):
+    sc = SCALES[scale]
+    work = sc.works[0]
+
+    def run():
+        return run_divisible("GP-DK", work, sc.n_pes, seed=0, init_threshold=0.85)
+
+    metrics = benchmark(run)
+    assert metrics.total_work == work

@@ -1,0 +1,35 @@
+"""Table 2: static triggering — N_expand, N_lb, E for nGP/GP x S^x.
+
+Checks the paper's three headline shapes on the regenerated table:
+GP == nGP at x = 0.50, the N_lb gap grows with x and W, and GP reaches
+its best efficiency at high thresholds.
+"""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table2(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: tables.table2(scale=scale), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    nlb_rows = [r for r in result.rows if r[1] == "Nlb"]
+    e_rows = [r for r in result.rows if r[1] == "E"]
+
+    # Shape 1: at x = 0.50 (columns 2/3) the two schemes are within noise.
+    for row in nlb_rows:
+        assert abs(row[2] - row[3]) <= 0.2 * max(row[2], row[3]) + 3
+
+    # Shape 2: at x = 0.90 (last value columns) nGP needs more phases
+    # than GP for the largest problem, and the gap exceeds the x=0.50 gap.
+    big = nlb_rows[-1]
+    assert big[-3] > big[-2]
+    assert (big[-3] - big[-2]) > (big[2] - big[3])
+
+    # Shape 3: GP's efficiency at x=0.90 beats its x=0.50 efficiency for
+    # the largest problem (higher thresholds pay off at scale).
+    big_e = e_rows[-1]
+    assert big_e[-2] > big_e[3]

@@ -1,0 +1,24 @@
+"""Table 3: efficiency at thresholds around the analytic optimum x_o.
+
+Verifies the Section 4.3 claim: the Equation 18 trigger is within a few
+percent of the empirically best threshold in its neighbourhood.
+"""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table3(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: tables.table3(scale=scale), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    by_w: dict[int, list] = {}
+    for w, x, e, tag in result.rows:
+        by_w.setdefault(w, []).append((x, e, tag))
+    for w, rows in by_w.items():
+        best = max(e for _, e, _ in rows)
+        at_xo = next(e for _, e, tag in rows if tag == "x_o")
+        assert at_xo >= 0.93 * best, f"W={w}: E(x_o)={at_xo} far from peak {best}"

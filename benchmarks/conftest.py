@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` selects the experiment scale for every bench:
+``small`` (default; P=512, 16x-reduced W — same W/P and t_lb/U_calc
+ratios as the paper) or ``paper`` (P=8192, W up to 1.61e7, the CM-2
+configuration verbatim — a few minutes for the full suite).
+
+Each bench regenerates one table/figure, prints it, and persists it
+under ``results/`` so the artifacts survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("tiny", "small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be tiny/small/paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(result, results_dir: Path) -> None:
+    """Persist and print a TableResult / SeriesResult."""
+    result.save(results_dir)
+    print("\n" + result.render())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Plugging your own problem into the SIMD search machinery.
+
+The adoption story for a downstream user: subclass
+:class:`repro.SearchProblem` (root + successor generator + goal test +
+optional admissible heuristic), and every engine in the library —
+serial DFS/IDA*, the lock-step parallel engine, all six load-balancing
+schemes — works unchanged.
+
+The demo problem: *subset-sum trees* — at each depth choose to include
+or exclude a number, prune when the partial sum exceeds the target,
+count exact hits.  Small, but genuinely irregular.
+
+Run:  python examples/custom_problem.py
+"""
+
+from repro import ParallelIDAStar, SearchProblem, ida_star
+
+
+class SubsetSumProblem(SearchProblem):
+    """Count subsets of ``numbers`` summing exactly to ``target``.
+
+    A state is ``(index, partial_sum)``: numbers before ``index`` are
+    decided.  Branches where the partial sum already exceeds the target
+    are pruned by the successor generator (all numbers are positive),
+    which is what makes the tree unstructured.
+    """
+
+    def __init__(self, numbers: list[int], target: int) -> None:
+        if any(n <= 0 for n in numbers):
+            raise ValueError("numbers must be positive")
+        self.numbers = sorted(numbers, reverse=True)  # fail fast
+        self.target = target
+
+    def initial_state(self):
+        return (0, 0)
+
+    def expand(self, state):
+        index, total = state
+        if index >= len(self.numbers):
+            return []
+        children = [(index + 1, total)]  # exclude
+        with_it = total + self.numbers[index]
+        if with_it <= self.target:
+            children.append((index + 1, with_it))  # include
+        return children
+
+    def is_goal(self, state):
+        index, total = state
+        return index == len(self.numbers) and total == self.target
+
+    def heuristic(self, state):
+        # Remaining decisions — exact on depth, so IDA* needs one pass.
+        return len(self.numbers) - state[0]
+
+
+def main() -> None:
+    numbers = [3, 34, 4, 12, 5, 2, 7, 13, 28, 19, 21, 9, 16, 25, 6, 11]
+    target = 60
+    problem = SubsetSumProblem(numbers, target)
+
+    serial = ida_star(problem)
+    print(
+        f"subset-sum: {serial.solutions} subsets of {len(numbers)} numbers "
+        f"sum to {target} (serial W = {serial.total_expanded})"
+    )
+
+    for spec in ("nGP-S0.75", "GP-S0.75", "GP-DK"):
+        init = 0.85 if spec.endswith("DK") else None
+        par = ParallelIDAStar(problem, 16, spec, init_threshold=init).run()
+        assert par.solutions == serial.solutions
+        assert par.total_expanded == serial.total_expanded
+        print(
+            f"  {spec:10s} on 16 PEs: cycles={par.metrics.n_expand:4d}  "
+            f"Nlb={par.metrics.n_lb:3d}  E={par.metrics.efficiency:.3f}"
+        )
+    print("every scheme found the same count with the same total work —")
+    print("your problem class is all you need to write.")
+
+
+if __name__ == "__main__":
+    main()

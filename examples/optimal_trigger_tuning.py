@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Tuning the static trigger with Equation 18.
+
+Given a machine (P, t_lb/U_calc) and a problem size W, the paper's
+closed form predicts the best static threshold x_o.  This example
+computes x_o for a range of configurations, then verifies one of them
+against a measured sweep — the Table 3 experiment, self-served.
+
+Run:  python examples/optimal_trigger_tuning.py
+"""
+
+import numpy as np
+
+from repro import CostModel, optimal_static_trigger, run_divisible
+from repro.util.tables import format_table
+
+
+def predicted_table() -> None:
+    cost = CostModel()  # CM-2 constants: 30 ms expansion, 13 ms LB phase
+    rows = []
+    for n_pes in (512, 2048, 8192):
+        for work in (10**5, 10**6, 10**7):
+            x_o = optimal_static_trigger(
+                work, n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(n_pes)
+            )
+            rows.append([n_pes, work, f"{x_o:.3f}"])
+    print(
+        format_table(
+            ["P", "W", "x_o"],
+            rows,
+            title="Equation 18: optimal static trigger (x_o rises with W, falls with P)",
+        )
+    )
+
+
+def measured_sweep(work: int = 500_000, n_pes: int = 512) -> None:
+    cost = CostModel()
+    x_o = optimal_static_trigger(
+        work, n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(n_pes)
+    )
+    print(f"\nmeasured sweep at W={work}, P={n_pes} (analytic x_o = {x_o:.3f}):")
+    rows = []
+    for x in np.round(np.arange(0.60, 0.99, 0.05), 2):
+        m = run_divisible(f"GP-S{x}", work, n_pes, seed=11)
+        rows.append([f"{x:.2f}", m.n_lb, f"{m.efficiency:.3f}"])
+    m_at_xo = run_divisible(f"GP-S{x_o:.4f}", work, n_pes, seed=11)
+    rows.append([f"{x_o:.3f} (x_o)", m_at_xo.n_lb, f"{m_at_xo.efficiency:.3f}"])
+    print(format_table(["x", "Nlb", "E"], rows))
+
+
+if __name__ == "__main__":
+    predicted_table()
+    measured_sweep()

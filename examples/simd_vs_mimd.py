@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Section 9's conclusion, measured: SIMD GP vs MIMD work stealing.
+
+Runs the same (P, W) grid through the lock-step GP-S^0.85 scheduler and
+through an asynchronous global-round-robin work-stealing simulation,
+then compares the W each needs to sustain 70% efficiency.  The paper's
+claim: similar scalability, with SIMD paying a constant-factor idling
+tax that hardware cost can offset.
+
+Run:  python examples/simd_vs_mimd.py
+"""
+
+import math
+
+from repro import growth_exponent, isoefficiency_points, run_divisible
+from repro.baselines.mimd import MimdWorkStealing
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    pes = [64, 128, 256, 512]
+    ratios = [8, 16, 32, 64, 128]
+    simd_records, mimd_records, rows = [], [], []
+
+    for p in pes:
+        for r in ratios:
+            w = int(r * p * math.log2(p))
+            simd = run_divisible("GP-S0.85", w, p, seed=13)
+            mimd = MimdWorkStealing(w, p, policy="grr", rng=13).run()
+            simd_records.append((p, float(w), simd.efficiency))
+            mimd_records.append((p, float(w), mimd.efficiency))
+            if r == 32:
+                rows.append(
+                    [p, w, f"{simd.efficiency:.3f}", f"{mimd.efficiency:.3f}"]
+                )
+
+    print(
+        format_table(
+            ["P", "W (ratio=32)", "SIMD GP-S0.85 E", "MIMD GRR E"],
+            rows,
+            title="Efficiency at matched work per processor",
+        )
+    )
+
+    for label, records in (("SIMD", simd_records), ("MIMD", mimd_records)):
+        points = isoefficiency_points(records, 0.7)
+        b = growth_exponent(points)
+        print(f"{label}: W for E=0.7 grows as (P log P)^{b:.2f}")
+    print(
+        "\npaper's reading: both track O(P log P); the MIMD machine is a\n"
+        "constant factor more efficient (no lock-step idling), which the\n"
+        "SIMD machine's hardware-cost advantage can repay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setup shim for environments without PEP 660 support (no `wheel` pkg).
+
+All real metadata lives in pyproject.toml; this file lets
+``pip install -e . --no-use-pep517`` fall back to the legacy
+``setup.py develop`` path on offline machines with old setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

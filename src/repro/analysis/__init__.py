@@ -1,0 +1,60 @@
+"""Scalability analysis: the paper's closed-form results.
+
+- :mod:`repro.analysis.bounds` — Appendix A/B: transfer upper bounds and
+  the V(P) phase bounds for GP and nGP.
+- :mod:`repro.analysis.efficiency` — the efficiency expressions of
+  Section 4 (Equations 9, 12, 15, 17).
+- :mod:`repro.analysis.optimal_trigger` — the optimal static trigger x_o
+  (Equation 18).
+- :mod:`repro.analysis.isoefficiency` — Table 6's analytic isoefficiency
+  functions and extraction of empirical isoefficiency curves from run
+  grids (Figures 4 and 7).
+"""
+
+from repro.analysis.bounds import (
+    work_log,
+    transfers_upper_bound,
+    v_bound_gp,
+    v_bound_ngp,
+    dk_overhead_within_bound,
+)
+from repro.analysis.efficiency import (
+    predicted_efficiency_gp_static,
+    predicted_efficiency_ngp_static,
+)
+from repro.analysis.optimal_trigger import optimal_static_trigger
+from repro.analysis.isoefficiency import (
+    analytic_isoefficiency,
+    isoefficiency_table,
+    isoefficiency_points,
+    growth_exponent,
+)
+from repro.analysis.statistics import MetricSummary, summarize, replicate
+from repro.analysis.regression import (
+    ScalingFit,
+    CANDIDATE_MODELS,
+    fit_model,
+    select_model,
+)
+
+__all__ = [
+    "work_log",
+    "transfers_upper_bound",
+    "v_bound_gp",
+    "v_bound_ngp",
+    "dk_overhead_within_bound",
+    "predicted_efficiency_gp_static",
+    "predicted_efficiency_ngp_static",
+    "optimal_static_trigger",
+    "analytic_isoefficiency",
+    "isoefficiency_table",
+    "isoefficiency_points",
+    "growth_exponent",
+    "MetricSummary",
+    "summarize",
+    "replicate",
+    "ScalingFit",
+    "CANDIDATE_MODELS",
+    "fit_model",
+    "select_model",
+]

@@ -1,0 +1,93 @@
+"""Closed-form efficiency predictions (Section 4, Equations 9/12/15).
+
+These are the paper's upper-bound models:
+
+    E = W*U_calc / ( W*U_calc/(x+delta)  +  P * V(P) * log W * t_lb )
+
+with ``V(P) = 1/(1-x)`` for GP (Eq. 12) and
+``V(P) = (log W)^{(2x-1)/(1-x)}`` for nGP (Eq. 15).  ``delta`` is the
+mean active-fraction surplus over the trigger threshold
+(``0 <= delta <= 1-x``); the paper's optimal-trigger derivation assumes
+``delta = 0``.  ``log W`` is the alpha-splitting logarithm of Appendix A.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import v_bound_gp, v_bound_ngp, work_log
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["predicted_efficiency_gp_static", "predicted_efficiency_ngp_static"]
+
+#: Default splitting quality: ``alpha = 1 - 1/e`` makes the Appendix A
+#: logarithm the natural log, which best matches the paper's Table 2
+#: analytic-trigger column (see analysis/optimal_trigger.py).
+DEFAULT_ALPHA = 1.0 - 1.0 / 2.718281828459045
+
+
+def _efficiency(
+    total_work: float,
+    n_pes: int,
+    x: float,
+    v_of_p: float,
+    *,
+    u_calc: float,
+    t_lb: float,
+    alpha: float,
+    delta: float,
+) -> float:
+    check_positive(total_work, "total_work")
+    check_positive(n_pes, "n_pes")
+    check_probability(x, "x", inclusive=False)
+    check_positive(u_calc, "u_calc")
+    check_positive(t_lb, "t_lb")
+    if not 0.0 <= delta <= 1.0 - x:
+        raise ValueError(f"delta must be in [0, 1-x] = [0, {1 - x}], got {delta}")
+    t_calc = total_work * u_calc
+    overhead = n_pes * v_of_p * work_log(total_work, alpha) * t_lb
+    return t_calc / (t_calc / (x + delta) + overhead)
+
+
+def predicted_efficiency_gp_static(
+    total_work: float,
+    n_pes: int,
+    x: float,
+    *,
+    u_calc: float = 0.030,
+    t_lb: float = 0.013,
+    alpha: float = DEFAULT_ALPHA,
+    delta: float = 0.0,
+) -> float:
+    """Equation 12: efficiency bound of GP-S^x."""
+    return _efficiency(
+        total_work,
+        n_pes,
+        x,
+        v_bound_gp(x),
+        u_calc=u_calc,
+        t_lb=t_lb,
+        alpha=alpha,
+        delta=delta,
+    )
+
+
+def predicted_efficiency_ngp_static(
+    total_work: float,
+    n_pes: int,
+    x: float,
+    *,
+    u_calc: float = 0.030,
+    t_lb: float = 0.013,
+    alpha: float = DEFAULT_ALPHA,
+    delta: float = 0.0,
+) -> float:
+    """Equation 15: efficiency bound of nGP-S^x."""
+    return _efficiency(
+        total_work,
+        n_pes,
+        x,
+        v_bound_ngp(x, total_work, alpha=alpha),
+        u_calc=u_calc,
+        t_lb=t_lb,
+        alpha=alpha,
+        delta=delta,
+    )

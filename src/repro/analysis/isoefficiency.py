@@ -1,0 +1,183 @@
+"""Isoefficiency functions — analytic (Table 6) and empirical (Figs 4/7).
+
+Analytic: the paper builds every isoefficiency from Equation 10,
+
+    W = O( P * V(P) * log P * t_lb(P) )
+
+plugging in the matching scheme's V(P) and the architecture's t_lb:
+GP on a hypercube gives ``O(P log^3 P)``, GP on a mesh ``O(P^1.5 log P)``,
+GP on the CM-2 (constant t_lb) ``O(P log P)``, and nGP picks up the extra
+``(log)^{(2x-1)/(1-x)}`` factor.
+
+Empirical: given a grid of (P, W, E) measurements, interpolate — at each
+P — the W required to hit a target efficiency, then check how that
+required W grows: fitting ``log W`` against ``log(P log P)`` with slope
+~1 confirms the O(P log P) isoefficiency the paper measures on the CM-2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bounds import v_bound_gp, v_bound_ngp
+from repro.util.validation import check_probability
+
+__all__ = [
+    "analytic_isoefficiency",
+    "isoefficiency_table",
+    "isoefficiency_points",
+    "growth_exponent",
+]
+
+_ARCH_TLB: dict[str, Callable[[float], float]] = {
+    "cm2": lambda p: 1.0,
+    "hypercube": lambda p: math.log2(p) ** 2,
+    "mesh": lambda p: math.sqrt(p),
+}
+
+_ARCH_LABEL: dict[str, str] = {
+    "cm2": "O(1)",
+    "hypercube": "O(log^2 P)",
+    "mesh": "O(sqrt(P))",
+}
+
+
+def analytic_isoefficiency(
+    matching: str, architecture: str, *, x: float = 0.9, reference_work: float = 1e6
+) -> tuple[Callable[[float], float], str]:
+    """Equation 10 instantiated: returns ``(f, label)``.
+
+    ``f(P)`` is the isoefficiency function up to a constant;``label`` is
+    the Table 6-style asymptotic string.  For nGP the V(P) bound depends
+    on W; ``reference_work`` pins the ``log W`` factor so ``f`` stays a
+    one-variable function (the paper makes the same move when it rewrites
+    ``log W`` as ``log P`` below Equation 10).
+    """
+    check_probability(x, "x")
+    if architecture not in _ARCH_TLB:
+        raise ValueError(
+            f"architecture must be one of {sorted(_ARCH_TLB)}, got {architecture!r}"
+        )
+    tlb = _ARCH_TLB[architecture]
+
+    if matching == "GP":
+        v: Callable[[float], float] = lambda p: float(v_bound_gp(x))
+        v_label = ""
+    elif matching == "nGP":
+        v = lambda p: v_bound_ngp(x, reference_work)
+        exp = (2 * x - 1) / (1 - x)
+        v_label = f" * log^{exp:.2g}(W)" if x > 0.5 else ""
+    else:
+        raise ValueError(f"matching must be 'GP' or 'nGP', got {matching!r}")
+
+    def f(p: float) -> float:
+        return p * v(p) * max(1.0, math.log2(p)) * tlb(p)
+
+    label = f"O(P log P * {_ARCH_LABEL[architecture]}{v_label})"
+    return f, label
+
+
+def isoefficiency_table(*, x: float = 0.9) -> list[tuple[str, str, str]]:
+    """Table 6: (architecture, scheme, isoefficiency) rows.
+
+    Rendered with the paper's simplifications: on the hypercube,
+    GP-S^x -> O(P log^3 P); on the mesh, GP-S^x -> O(P^1.5 log P); nGP
+    carries the extra ``log^{(2x-1)/(1-x)}`` factor.
+    """
+    check_probability(x, "x")
+    exp = (2 * x - 1) / (1 - x) if x > 0.5 else 0.0
+    ngp_factor = f" log^{{{exp:.2g}}} W" if exp else ""
+    return [
+        ("hypercube", "nGP-S^x", f"O(P log^3 P{ngp_factor})"),
+        ("hypercube", "GP-S^x", "O(P log^3 P)"),
+        ("mesh", "nGP-S^x", f"O(P^1.5 log P{ngp_factor})"),
+        ("mesh", "GP-S^x", "O(P^1.5 log P)"),
+        ("cm2", "nGP-S^x", f"O(P log P{ngp_factor})"),
+        ("cm2", "GP-S^x", "O(P log P)"),
+    ]
+
+
+# -- empirical isoefficiency --------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Record:
+    n_pes: int
+    total_work: float
+    efficiency: float
+
+
+def isoefficiency_points(
+    records: Iterable[tuple[int, float, float]],
+    target_efficiency: float,
+) -> list[tuple[int, float]]:
+    """The empirical isoefficiency curve (Figures 4 and 7).
+
+    Parameters
+    ----------
+    records:
+        ``(P, W, E)`` measurements from a run grid; multiple W per P.
+    target_efficiency:
+        The curve's efficiency level.
+
+    Returns
+    -------
+    ``(P, W_required)`` pairs for every P whose measurements bracket the
+    target — ``W_required`` interpolated linearly in ``(E, log W)``.
+    P values that never reach the target (or never fall below it) are
+    omitted, exactly as unreachable points are absent from the paper's
+    plots.
+    """
+    check_probability(target_efficiency, "target_efficiency", inclusive=False)
+    recs = [_Record(int(p), float(w), float(e)) for p, w, e in records]
+    by_p: dict[int, list[_Record]] = {}
+    for r in recs:
+        by_p.setdefault(r.n_pes, []).append(r)
+
+    points: list[tuple[int, float]] = []
+    for p, rows in sorted(by_p.items()):
+        rows.sort(key=lambda r: r.total_work)
+        effs = np.array([r.efficiency for r in rows])
+        logws = np.log([r.total_work for r in rows])
+        # Efficiency rises with W at fixed P (the premise of isoefficiency
+        # analysis); tolerate local noise by scanning for a bracketing
+        # adjacent pair.
+        for i in range(len(rows) - 1):
+            lo, hi = effs[i], effs[i + 1]
+            if (lo - target_efficiency) * (hi - target_efficiency) <= 0 and lo != hi:
+                frac = (target_efficiency - lo) / (hi - lo)
+                points.append((p, float(np.exp(logws[i] + frac * (logws[i + 1] - logws[i])))))
+                break
+    return points
+
+
+def growth_exponent(
+    points: Sequence[tuple[int, float]],
+    *,
+    model: str = "PlogP",
+) -> float:
+    """Fit ``log W = a + b * log(f(P))`` over an isoefficiency curve.
+
+    ``model`` chooses ``f``: ``"PlogP"`` (the paper's CM-2 expectation),
+    ``"P"`` (linear lower bound) or ``"P2"``.  A returned exponent near
+    1.0 under ``"PlogP"`` is the Figure 4/7 conclusion: the isoefficiency
+    is O(P log P).
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two isoefficiency points to fit growth")
+    models: dict[str, Callable[[float], float]] = {
+        "PlogP": lambda p: p * math.log2(p),
+        "P": lambda p: p,
+        "P2": lambda p: p * p,
+    }
+    if model not in models:
+        raise ValueError(f"model must be one of {sorted(models)}, got {model!r}")
+    f = models[model]
+    xs = np.log([f(p) for p, _ in points])
+    ys = np.log([w for _, w in points])
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)

@@ -1,0 +1,65 @@
+"""The optimal static trigger x_o (Section 4.3, Equation 18).
+
+Maximizing the Equation 17 efficiency of GP-S^x over ``x`` gives
+
+    x_o = 1 / ( sqrt( P * t_lb * log_{1/(1-alpha)} W / (W * U_calc) ) + 1 )
+
+With the paper's CM-2 constants (``t_lb/U_calc = 13/30``, ``P = 8192``)
+and ``alpha = 1 - 1/e`` (natural-log splitting cascade), this reproduces
+the analytic-trigger column of Table 2: x_o = 0.82 / 0.89 / 0.92 / 0.95
+for the four problem sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.bounds import work_log
+from repro.analysis.efficiency import DEFAULT_ALPHA
+from repro.util.validation import check_positive
+
+__all__ = ["optimal_static_trigger", "predicted_optimal_efficiency"]
+
+
+def optimal_static_trigger(
+    total_work: float,
+    n_pes: int,
+    *,
+    u_calc: float = 0.030,
+    t_lb: float = 0.013,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Equation 18: the threshold x_o that maximizes GP-S^x efficiency.
+
+    Monotonicity (all shown in Section 4.3): x_o rises with ``W`` (larger
+    problems tolerate more balancing), falls with ``P``, falls as
+    ``t_lb/U_calc`` grows, and falls as the splitter worsens (``alpha``
+    down).
+    """
+    check_positive(total_work, "total_work")
+    check_positive(n_pes, "n_pes")
+    check_positive(u_calc, "u_calc")
+    check_positive(t_lb, "t_lb")
+    ratio = (n_pes * t_lb * work_log(total_work, alpha)) / (total_work * u_calc)
+    return 1.0 / (math.sqrt(ratio) + 1.0)
+
+
+def predicted_optimal_efficiency(
+    total_work: float,
+    n_pes: int,
+    *,
+    u_calc: float = 0.030,
+    t_lb: float = 0.013,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Equation 17 evaluated at x_o: the best efficiency GP-S^x can reach.
+
+    With ``delta = 0`` the Equation 17 denominator is
+    ``1/x + overhead_ratio / (1-x)``; evaluating it at the optimum rather
+    than using a simplified closed form avoids algebra slips.
+    """
+    x_o = optimal_static_trigger(
+        total_work, n_pes, u_calc=u_calc, t_lb=t_lb, alpha=alpha
+    )
+    ratio = (n_pes * t_lb * work_log(total_work, alpha)) / (total_work * u_calc)
+    return 1.0 / (1.0 / x_o + ratio / (1.0 - x_o))

@@ -1,0 +1,86 @@
+"""Multi-seed aggregation for experiment stability.
+
+The paper reports single CM-2 runs; a reproduction should show its
+numbers are not seed lottery.  ``replicate`` runs one configuration
+across seeds and returns per-metric summaries (mean, sd, min/max, and a
+normal-approximation confidence half-width), which the variance bench
+uses to bound the spread of every headline metric.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.metrics import RunMetrics
+
+__all__ = ["MetricSummary", "summarize", "replicate"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics of one metric over replicated runs."""
+
+    name: str
+    n: int
+    mean: float
+    sd: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% half-width of the mean."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.sd / math.sqrt(self.n)
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / |mean| — the headline stability number."""
+        if self.mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / abs(self.mean)
+
+
+def summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    """Summary statistics of ``values`` (requires at least one value)."""
+    if not values:
+        raise ValueError("summarize requires at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return MetricSummary(
+        name=name,
+        n=n,
+        mean=mean,
+        sd=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def replicate(
+    run: Callable[[int], RunMetrics],
+    seeds: Sequence[int],
+) -> dict[str, MetricSummary]:
+    """Run ``run(seed)`` for every seed and summarize the key metrics.
+
+    Returns summaries for ``efficiency``, ``n_expand``, ``n_lb`` and
+    ``n_transfers``.
+    """
+    if not seeds:
+        raise ValueError("replicate requires at least one seed")
+    results = [run(seed) for seed in seeds]
+    return {
+        "efficiency": summarize("efficiency", [r.efficiency for r in results]),
+        "n_expand": summarize("n_expand", [float(r.n_expand) for r in results]),
+        "n_lb": summarize("n_lb", [float(r.n_lb) for r in results]),
+        "n_transfers": summarize(
+            "n_transfers", [float(r.n_transfers) for r in results]
+        ),
+    }

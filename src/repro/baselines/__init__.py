@@ -1,0 +1,27 @@
+"""Related-work baselines (Section 8 of the paper).
+
+- :mod:`repro.baselines.fess_fegs` — Mahanti & Daniels' FESS and FEGS:
+  trigger as soon as one processor idles; nGP-style matching; FESS does a
+  single transfer per phase, FEGS redistributes until no processor is
+  idle.
+- :mod:`repro.baselines.frye` — Frye & Myczkowski's two schemes: the
+  give-one-node scheme (poor splitting) and nearest-neighbour balancing.
+- :mod:`repro.baselines.mimd` — an asynchronous MIMD work-stealing
+  simulator (global round robin / random polling), supporting the
+  paper's Section 9 claim that the SIMD schemes' scalability matches the
+  best MIMD schemes.
+"""
+
+from repro.baselines.fess_fegs import IdleTrigger, fess_scheme, fegs_scheme
+from repro.baselines.frye import frye_give_one_scheme, NearestNeighborScheduler
+from repro.baselines.mimd import MimdWorkStealing, MimdResult
+
+__all__ = [
+    "IdleTrigger",
+    "fess_scheme",
+    "fegs_scheme",
+    "frye_give_one_scheme",
+    "NearestNeighborScheduler",
+    "MimdWorkStealing",
+    "MimdResult",
+]

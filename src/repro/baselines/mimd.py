@@ -1,0 +1,235 @@
+"""Asynchronous MIMD work stealing (Section 9's comparison point).
+
+The paper concludes that its SIMD schemes scale "no worse than ... the
+best load balancing schemes on MIMD architectures" (global round robin /
+random polling work stealing, isoefficiency ``O(P log P)`` with constant
+communication — Kumar, Grama & Rao [17, 20]).  This module implements
+that comparator as a stepped discrete-time simulation:
+
+- one step = one node-expansion time ``U_calc``;
+- every processor with work expands one node per step *independently*
+  (no lock-step idling — the MIMD advantage);
+- an idle processor issues a steal request to a victim chosen by global
+  round robin (``"grr"``) or uniformly at random (``"random"``); the
+  request takes ``steal_latency`` steps in flight, then takes an
+  alpha-split of the victim's work — or fails and is re-issued, exactly
+  the retry behaviour of the MIMD literature.
+
+Efficiency is ``W / (P * makespan)``: idle waiting is the only overhead
+(the donor services steals for free, modelling interrupt-driven MIMD
+sends); ``steal_latency`` is where communication cost lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.splitting import AlphaSplitter, WorkSplitter
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["MimdResult", "MimdWorkStealing"]
+
+
+@dataclass(frozen=True)
+class MimdResult:
+    """Outcome of one MIMD work-stealing run.
+
+    ``makespan_steps`` is the number of steps until the last node is
+    expanded; ``efficiency = W / (P * makespan_steps)``.
+    ``termination_steps`` (when token detection is enabled) is the
+    later step at which the distributed algorithm *knew* the run was
+    over — the extra tail is the price of not being omniscient.
+    """
+
+    n_pes: int
+    total_work: int
+    makespan_steps: int
+    n_steals: int
+    n_failed_steals: int
+    termination_steps: int | None = None
+
+    @property
+    def efficiency(self) -> float:
+        return self.total_work / (self.n_pes * self.makespan_steps)
+
+    @property
+    def speedup(self) -> float:
+        return self.total_work / self.makespan_steps
+
+
+class MimdWorkStealing:
+    """Stepped simulation of receiver-initiated MIMD work stealing.
+
+    Parameters
+    ----------
+    total_work:
+        ``W`` nodes, initially all on PE 0.
+    n_pes:
+        ``P``.
+    policy:
+        Victim selection: ``"grr"`` (global round robin) or ``"random"``.
+    steal_latency:
+        Steps a steal request spends in flight (round trip); the MIMD
+        analogue of ``U_comm``.
+    splitter:
+        Donation policy on successful steals.
+    """
+
+    def __init__(
+        self,
+        total_work: int,
+        n_pes: int,
+        *,
+        policy: str = "grr",
+        steal_latency: int = 2,
+        splitter: WorkSplitter | None = None,
+        rng: int | np.random.Generator | None = None,
+        termination: str = "omniscient",
+    ) -> None:
+        self.total_work = check_positive_int(total_work, "total_work")
+        self.n_pes = check_positive_int(n_pes, "n_pes")
+        if policy not in ("grr", "random"):
+            raise ValueError(f"policy must be 'grr' or 'random', got {policy!r}")
+        if termination not in ("omniscient", "token"):
+            raise ValueError(
+                f"termination must be 'omniscient' or 'token', got {termination!r}"
+            )
+        self.policy = policy
+        self.steal_latency = check_positive_int(steal_latency, "steal_latency")
+        self.splitter = splitter if splitter is not None else AlphaSplitter()
+        self.rng = as_generator(rng)
+        #: "omniscient": the simulator stops the clock at the last
+        #: expansion. "token": a Dijkstra-style white/black token ring
+        #: must *detect* termination — the clock runs until it does,
+        #: pricing the real distributed tail.
+        self.termination = termination
+
+    def _pick_victims(self, thieves: np.ndarray, grr_counter: int) -> tuple[np.ndarray, int]:
+        k = len(thieves)
+        if self.policy == "grr":
+            victims = (grr_counter + np.arange(k)) % self.n_pes
+            grr_counter = (grr_counter + k) % self.n_pes
+        else:
+            victims = self.rng.integers(0, self.n_pes, size=k)
+        # Never target yourself; the next processor is as good as random.
+        self_hit = victims == thieves
+        victims[self_hit] = (victims[self_hit] + 1) % self.n_pes
+        return victims, grr_counter
+
+    def run(self, *, max_steps: int | None = None) -> MimdResult:
+        P = self.n_pes
+        w = np.zeros(P, dtype=np.int64)
+        w[0] = self.total_work
+        # pending[i] > 0: request in flight; 0: no outstanding request.
+        pending = np.zeros(P, dtype=np.int64)
+        victim_of = np.full(P, -1, dtype=np.int64)
+        expanded = 0
+        steps = 0
+        n_steals = 0
+        n_failed = 0
+        grr_counter = 1  # PE 0 holds the root; start polling there last.
+        makespan = 0
+
+        # Dijkstra-Feijen-van Gasteren token ring (termination="token"):
+        # PEs are white until they donate work; the token moves one hop
+        # per step while its holder is passive (no work), picking up any
+        # black; a white token completing a lap of an all-passive white
+        # ring at PE 0 proves termination.
+        token_holder = 0
+        token_black = False
+        pe_black = np.zeros(P, dtype=bool)
+        detected = False
+
+        def running() -> bool:
+            if self.termination == "omniscient":
+                return expanded < self.total_work
+            return not detected
+
+        while running():
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(f"MIMD simulation exceeded max_steps={max_steps}")
+            steps += 1
+
+            active = w > 0
+            expanded += int(active.sum())
+            np.subtract(w, 1, out=w, where=active)
+            if expanded >= self.total_work and makespan == 0:
+                makespan = steps
+
+            idle = w == 0
+            # Tick requests already in flight (only meaningful while idle;
+            # a PE that received work keeps no request).
+            pending[~idle] = 0
+
+            arriving = idle & (pending == 1)
+            waiting = idle & (pending > 1)
+            pending[waiting] -= 1
+
+            # Resolve arrivals: one steal per victim per step; extra
+            # thieves on the same victim fail and re-request.
+            arrive_idx = np.flatnonzero(arriving)
+            if len(arrive_idx) > 0:
+                victims = victim_of[arrive_idx]
+                order = np.argsort(victims, kind="stable")
+                arrive_idx = arrive_idx[order]
+                victims = victims[order]
+                first = np.ones(len(victims), dtype=bool)
+                first[1:] = victims[1:] != victims[:-1]
+                winners = arrive_idx[first]
+                win_victims = victims[first]
+                can_give = w[win_victims] >= 2
+                ok_thief = winners[can_give]
+                ok_victim = win_victims[can_give]
+                if len(ok_thief) > 0:
+                    give = self.splitter.donation(w[ok_victim], self.rng)
+                    w[ok_victim] -= give
+                    w[ok_thief] += give
+                    n_steals += len(ok_thief)
+                    # Token rule: a donor may have re-activated a PE the
+                    # token already passed — it turns black.
+                    pe_black[ok_victim] = True
+                n_failed += len(arrive_idx) - len(ok_thief)
+                pending[arrive_idx] = 0
+                pending[ok_thief] = 0
+
+            # Idle PEs without an outstanding request issue one.  Under
+            # token termination they keep polling through the tail (they
+            # cannot know the work is gone) — the realistic behaviour the
+            # omniscient mode elides.
+            requesters = np.flatnonzero((w == 0) & (pending == 0))
+            still_unknown = (
+                expanded < self.total_work or self.termination == "token"
+            )
+            if still_unknown and len(requesters) > 0:
+                victims, grr_counter = self._pick_victims(requesters, grr_counter)
+                victim_of[requesters] = victims
+                pending[requesters] = self.steal_latency
+
+            if self.termination == "token":
+                if w[token_holder] == 0:
+                    token_black = token_black or bool(pe_black[token_holder])
+                    pe_black[token_holder] = False
+                    nxt = (token_holder - 1) % P
+                    if nxt == 0:
+                        # Token back at the initiator: a white lap with a
+                        # passive white initiator proves termination.
+                        if (
+                            not token_black
+                            and w[0] == 0
+                            and not pe_black[0]
+                        ):
+                            detected = True
+                        token_black = False  # relaunch a white token
+                    token_holder = nxt
+
+        return MimdResult(
+            n_pes=P,
+            total_work=self.total_work,
+            makespan_steps=makespan if makespan else steps,
+            n_steals=n_steals,
+            n_failed_steals=n_failed,
+            termination_steps=steps if self.termination == "token" else None,
+        )

@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``schemes`` — list the Table 1 scheme registry.
+- ``run`` — one load-balancing run over the divisible workload.
+- ``solve`` — solve a real problem instance (puzzle / queens / knapsack
+  / tsp) with parallel search on the simulated machine.
+- ``xo`` — the Equation 18 optimal static trigger for a configuration.
+- ``table`` / ``figure`` — regenerate a paper table or figure.
+
+Every command prints plain text and exits non-zero on bad arguments, so
+the CLI scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unstructured tree search on simulated SIMD machines "
+        "(Karypis & Kumar, 1992).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list the Table 1 load-balancing schemes")
+
+    run = sub.add_parser("run", help="run a scheme over the divisible workload")
+    run.add_argument("scheme", help="scheme spec, e.g. GP-S0.90 or nGP-DK")
+    run.add_argument("--work", type=int, default=1_000_000, help="W, total nodes")
+    run.add_argument("--pes", type=int, default=1024, help="P, processors")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--lb-mult", type=float, default=1.0, help="LB transfer cost multiplier"
+    )
+    run.add_argument(
+        "--init", type=float, default=None,
+        help="initial-distribution threshold (default: 0.85 for dynamic triggers)",
+    )
+
+    solve = sub.add_parser("solve", help="solve a real problem instance")
+    solve.add_argument(
+        "problem", choices=["puzzle", "queens", "knapsack", "tsp", "coloring"],
+    )
+    solve.add_argument("--scheme", default="GP-DK")
+    solve.add_argument("--pes", type=int, default=64)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--size", type=int, default=None,
+        help="puzzle: scramble length (default 25); queens: board size "
+        "(default 8); knapsack: items (default 20); tsp: cities "
+        "(default 10); coloring: vertices (default 10, 3 colors)",
+    )
+
+    xo = sub.add_parser("xo", help="Equation 18 optimal static trigger")
+    xo.add_argument("--work", type=float, required=True)
+    xo.add_argument("--pes", type=int, required=True)
+    xo.add_argument("--u-calc", type=float, default=0.030)
+    xo.add_argument("--t-lb", type=float, default=0.013)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 2, 3, 4, 5, 6])
+    table.add_argument("--scale", default="small", choices=["tiny", "small", "paper"])
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--out", default=None, help="directory to save the table")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=[1, 3, 4, 5, 6, 7, 8])
+    figure.add_argument("--scale", default="small", choices=["tiny", "small", "paper"])
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--out", default=None, help="directory to save the figure")
+
+    grid = sub.add_parser(
+        "grid", help="run a (scheme, W, P) grid and save it as JSON"
+    )
+    grid.add_argument("out", help="output JSON path")
+    grid.add_argument("--schemes", nargs="+", default=["GP-S0.90"])
+    grid.add_argument("--works", nargs="+", type=int, required=True)
+    grid.add_argument("--pes", nargs="+", type=int, required=True)
+    grid.add_argument("--seed", type=int, default=0)
+
+    iso = sub.add_parser(
+        "isoeff", help="extract an isoefficiency curve from a saved grid"
+    )
+    iso.add_argument("store", help="JSON path written by 'grid'")
+    iso.add_argument("--target", type=float, default=0.7, help="efficiency level")
+    iso.add_argument(
+        "--scheme", default=None, help="restrict to one scheme (default: all)"
+    )
+
+    report = sub.add_parser(
+        "report", help="consolidate results/ artifacts into one report"
+    )
+    report.add_argument("--results", default="results", help="artifacts directory")
+    report.add_argument("--out", default=None, help="write the report here")
+
+    return parser
+
+
+def _cmd_schemes() -> int:
+    from repro.core.config import PAPER_SCHEMES, make_scheme
+
+    print("Table 1 load-balancing schemes (spec -> transfers per LB phase):")
+    for spec in PAPER_SCHEMES:
+        scheme = make_scheme(spec)
+        kind = "multiple" if scheme.multiple_transfers else "single"
+        print(f"  {scheme.name:11s} {kind}")
+    print("\nstatic thresholds are free: any 'GP-S<x>' or 'nGP-S<x>' works.")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_divisible
+    from repro.simd.cost import CostModel
+
+    cost = CostModel().with_lb_multiplier(args.lb_mult)
+    init = args.init if args.init is not None else "auto"
+    metrics = run_divisible(
+        args.scheme,
+        args.work,
+        args.pes,
+        cost_model=cost,
+        seed=args.seed,
+        init_threshold=init,
+    )
+    print(
+        f"{metrics.scheme}: W={metrics.total_work}  P={metrics.n_pes}\n"
+        f"  Nexpand={metrics.n_expand}  Nlb={metrics.n_lb}  "
+        f"transfers={metrics.n_transfers}\n"
+        f"  efficiency={metrics.efficiency:.4f}  speedup={metrics.speedup:.1f}"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.search.branch_and_bound import ParallelDFBB
+    from repro.search.parallel import ParallelIDAStar
+
+    init = 0.85 if args.scheme.endswith(("DK", "DP")) else None
+    if args.problem == "puzzle":
+        from repro.problems.fifteen_puzzle import scrambled_fifteen_puzzle
+
+        puzzle = scrambled_fifteen_puzzle(args.size or 25, rng=args.seed)
+        print("instance:", puzzle.tiles)
+        result = ParallelIDAStar(
+            puzzle, args.pes, args.scheme, init_threshold=init
+        ).run()
+        print(
+            f"optimal cost={result.solution_cost}  solutions={result.solutions}\n"
+            f"W={result.total_expanded}  cycles={result.metrics.n_expand}  "
+            f"Nlb={result.metrics.n_lb}  E={result.metrics.efficiency:.3f}"
+        )
+    elif args.problem == "queens":
+        from repro.problems.nqueens import NQueensProblem
+
+        problem = NQueensProblem(args.size or 8)
+        result = ParallelIDAStar(
+            problem, args.pes, args.scheme, init_threshold=init
+        ).run()
+        print(
+            f"{problem.n}-queens: solutions={result.solutions}  "
+            f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
+        )
+    elif args.problem == "knapsack":
+        from repro.problems.knapsack import KnapsackProblem
+
+        problem = KnapsackProblem.random(args.size or 20, rng=args.seed)
+        result = ParallelDFBB(
+            problem, args.pes, args.scheme, init_threshold=init
+        ).run()
+        print(
+            f"knapsack n={problem.n_items} cap={problem.capacity}: "
+            f"optimum={result.best_value:.0f} (DP check: {problem.solve_dp()})\n"
+            f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
+        )
+    elif args.problem == "tsp":
+        from repro.problems.tsp import TSPProblem
+
+        problem = TSPProblem.random_euclidean(args.size or 10, rng=args.seed)
+        result = ParallelDFBB(
+            problem, args.pes, args.scheme, init_threshold=init
+        ).run()
+        print(
+            f"tsp n={problem.n}: optimum={result.best_value:.4f}\n"
+            f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
+        )
+    else:
+        from repro.problems.coloring import GraphColoringProblem
+
+        problem = GraphColoringProblem.random(args.size or 10, 3, rng=args.seed)
+        result = ParallelIDAStar(
+            problem, args.pes, args.scheme, init_threshold=init
+        ).run()
+        print(
+            f"3-coloring, {problem.n_vertices} vertices: "
+            f"{result.solutions} proper colorings\n"
+            f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
+        )
+    return 0
+
+
+def _cmd_xo(args: argparse.Namespace) -> int:
+    from repro.analysis.optimal_trigger import (
+        optimal_static_trigger,
+        predicted_optimal_efficiency,
+    )
+
+    x_o = optimal_static_trigger(
+        args.work, args.pes, u_calc=args.u_calc, t_lb=args.t_lb
+    )
+    e = predicted_optimal_efficiency(
+        args.work, args.pes, u_calc=args.u_calc, t_lb=args.t_lb
+    )
+    print(f"x_o = {x_o:.4f}   predicted peak efficiency = {e:.4f}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    fn = getattr(tables, f"table{args.number}")
+    if args.number == 6:
+        result = fn()
+    else:
+        result = fn(scale=args.scale, seed=args.seed)
+    print(result.render())
+    if args.out:
+        path = result.save(args.out)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    fn = getattr(figures, f"fig{args.number}")
+    if args.number in (4, 7):
+        result = fn(seed=args.seed)
+    elif args.number == 5:
+        result = fn()
+    else:
+        result = fn(scale=args.scale, seed=args.seed)
+    print(result.render())
+    if args.out:
+        path = result.save(args.out)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_grid
+    from repro.experiments.store import save_records
+
+    records = run_grid(args.schemes, args.works, args.pes, base_seed=args.seed)
+    path = save_records(records, args.out)
+    print(f"ran {len(records)} cells; saved to {path}")
+    return 0
+
+
+def _cmd_isoeff(args: argparse.Namespace) -> int:
+    from repro.analysis.isoefficiency import growth_exponent, isoefficiency_points
+    from repro.experiments.store import load_records, to_triples
+
+    records = load_records(args.store)
+    schemes = sorted({r.scheme for r in records})
+    if args.scheme is not None:
+        if args.scheme not in schemes:
+            raise ValueError(
+                f"scheme {args.scheme!r} not in store (has: {schemes})"
+            )
+        schemes = [args.scheme]
+    for scheme in schemes:
+        triples = to_triples([r for r in records if r.scheme == scheme])
+        points = isoefficiency_points(triples, args.target)
+        if len(points) < 2:
+            print(f"{scheme}: target E={args.target} not bracketed by the grid")
+            continue
+        b = growth_exponent(points)
+        print(f"{scheme}: W for E={args.target} grows as (P log P)^{b:.2f}")
+        for p, w in points:
+            print(f"  P={p:<6d} W={w:,.0f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.consolidate import consolidate_report
+
+    text = consolidate_report(args.results, out_path=args.out)
+    if args.out:
+        print(f"report written to {args.out}")
+        print(text.splitlines()[4])  # the present/total manifest line
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "schemes": lambda: _cmd_schemes(),
+        "run": lambda: _cmd_run(args),
+        "solve": lambda: _cmd_solve(args),
+        "xo": lambda: _cmd_xo(args),
+        "table": lambda: _cmd_table(args),
+        "figure": lambda: _cmd_figure(args),
+        "grid": lambda: _cmd_grid(args),
+        "isoeff": lambda: _cmd_isoeff(args),
+        "report": lambda: _cmd_report(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

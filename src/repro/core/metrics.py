@@ -1,0 +1,91 @@
+"""Run metrics and per-cycle traces.
+
+``RunMetrics`` carries exactly the columns of the paper's tables:
+``N_expand`` (node-expansion cycles), ``N_lb`` (load-balancing phases),
+``*N_lb`` (work transfers — what Table 4 reports for D_P) and efficiency
+``E``, alongside the full time ledger.
+
+``Trace`` optionally records the busy-PE count at every cycle and the
+cycle index of every LB phase — the raw series behind Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simd.machine import TimeLedger
+
+__all__ = ["Trace", "RunMetrics"]
+
+
+@dataclass
+class Trace:
+    """Per-cycle record of one run (enable via ``Scheduler(trace=True)``).
+
+    Attributes
+    ----------
+    busy_per_cycle:
+        ``A`` after each node-expansion cycle.
+    expanding_per_cycle:
+        Number of PEs that expanded in each cycle.
+    lb_cycle_indices:
+        Cycle index (0-based, counted over expansion cycles) after which
+        each LB phase occurred.
+    trigger_r1 / trigger_r2:
+        The two Figure 1 areas observed after each cycle.
+    """
+
+    busy_per_cycle: list[int] = field(default_factory=list)
+    expanding_per_cycle: list[int] = field(default_factory=list)
+    lb_cycle_indices: list[int] = field(default_factory=list)
+    trigger_r1: list[float] = field(default_factory=list)
+    trigger_r2: list[float] = field(default_factory=list)
+
+    def record_cycle(self, busy: int, expanding: int, r1: float, r2: float) -> None:
+        self.busy_per_cycle.append(busy)
+        self.expanding_per_cycle.append(expanding)
+        self.trigger_r1.append(r1)
+        self.trigger_r2.append(r2)
+
+    def record_lb(self, cycle_index: int) -> None:
+        self.lb_cycle_indices.append(cycle_index)
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate outcome of one scheduled run.
+
+    Field names follow the paper's table headers where one exists.
+    """
+
+    scheme: str
+    n_pes: int
+    total_work: int
+    n_expand: int
+    n_lb: int
+    n_transfers: int
+    n_init_lb: int
+    ledger: TimeLedger
+    trace: Trace | None = None
+
+    @property
+    def efficiency(self) -> float:
+        """``E = T_calc / (T_calc + T_idle + T_lb)`` (Section 3.1)."""
+        return self.ledger.efficiency()
+
+    @property
+    def speedup(self) -> float:
+        """``S = T_calc / T_par``."""
+        return self.ledger.speedup(self.n_pes)
+
+    @property
+    def avg_busy_fraction(self) -> float:
+        """Mean fraction of PEs expanding per cycle (requires a trace)."""
+        if self.trace is None or not self.trace.expanding_per_cycle:
+            raise ValueError("avg_busy_fraction requires a recorded trace")
+        total = sum(self.trace.expanding_per_cycle)
+        return total / (len(self.trace.expanding_per_cycle) * self.n_pes)
+
+    def summary_row(self) -> tuple[str, int, int, int, float]:
+        """(scheme, N_expand, N_lb, transfers, E) — one table row."""
+        return (self.scheme, self.n_expand, self.n_lb, self.n_transfers, self.efficiency)

@@ -1,0 +1,208 @@
+"""The lock-step search/load-balance loop (Section 2).
+
+At any time all processors are either in a *search phase* — lock-step
+node-expansion cycles — or in a *load-balancing phase* — busy processors
+split their work and share it with idle ones.  The scheduler:
+
+1. optionally runs the *initial distribution phase* of Section 7 (the root
+   is on one PE; alternate expansion and balancing until a target fraction
+   of PEs is active);
+2. repeats: expand; test the trigger; on fire, run an LB phase (one
+   transfer round, or rounds until saturation for multiple-transfer
+   schemes), inform the trigger of its cost, and resume searching;
+3. stops when the workload is exhausted (or ``max_cycles`` hit).
+
+The paper's rule "after each load balancing phase, at least one node
+expansion cycle is completed before the triggering condition is tested
+again" falls out of the loop structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Scheme, make_scheme
+from repro.core.interfaces import Workload
+from repro.core.matching import Matcher
+from repro.core.metrics import RunMetrics, Trace
+from repro.core.triggering import Trigger, TriggerState
+from repro.simd.machine import SimdMachine
+
+__all__ = ["Scheduler"]
+
+#: Hard safety cap on transfer rounds inside one LB phase; each round
+#: strictly reduces the idle count, so P rounds is already unreachable.
+_MAX_ROUNDS_FACTOR = 4
+
+
+@dataclass
+class Scheduler:
+    """Drives one workload to exhaustion under one load-balancing scheme.
+
+    Parameters
+    ----------
+    workload:
+        Any :class:`~repro.core.interfaces.Workload` implementation.
+    machine:
+        The time ledger; its cost model prices cycles and LB phases.
+    scheme:
+        A :class:`~repro.core.config.Scheme` or a spec string like
+        ``"GP-S0.90"``.
+    init_threshold:
+        If set (e.g. ``0.85`` as in Section 7), run the initial
+        distribution phase until this fraction of PEs is non-idle before
+        handing control to the trigger.
+    trace:
+        Record per-cycle busy counts and LB positions (Figure 8 data).
+    max_cycles:
+        Safety cap on expansion cycles; ``None`` means run to exhaustion.
+    charge_collectives:
+        If true, charge one sum-scan per expansion cycle for the global
+        busy-count reduction the trigger reads.  The paper folds this
+        into its measured 30 ms cycle (scans are nearly free on the
+        CM-2); on a mesh or hypercube the per-cycle collective is a real
+        cost, and this switch prices it (ablation).
+    """
+
+    workload: Workload
+    machine: SimdMachine
+    scheme: Scheme | str
+    init_threshold: float | None = None
+    trace: bool = False
+    max_cycles: int | None = None
+    charge_collectives: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scheme, str):
+            self.scheme = make_scheme(self.scheme)
+        if self.workload.n_pes != self.machine.n_pes:
+            raise ValueError(
+                f"workload has {self.workload.n_pes} PEs but machine has "
+                f"{self.machine.n_pes}"
+            )
+        if self.init_threshold is not None and not 0.0 < self.init_threshold <= 1.0:
+            raise ValueError(
+                f"init_threshold must be in (0, 1], got {self.init_threshold}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunMetrics:
+        """Execute the full run and return its metrics."""
+        scheme = self.scheme
+        assert isinstance(scheme, Scheme)
+        initial_lb_cost = self.machine.cost.lb_phase_time(self.machine.n_pes)
+        matcher, trigger = scheme.build(initial_lb_cost)
+        trace = Trace() if self.trace else None
+
+        n_init_lb = 0
+        if self.init_threshold is not None:
+            n_init_lb = self._initial_distribution(matcher, trigger, trace)
+
+        trigger.start_phase()
+        while not self.workload.done() and not self._cycle_cap_hit():
+            state = self._expand_and_observe()
+            if self.workload.done():
+                self._record_cycle(trace, state, trigger)
+                break
+            fire = trigger.after_cycle(state)
+            self._record_cycle(trace, state, trigger)
+            if fire:
+                self._maybe_balance(matcher, trigger, trace)
+
+        return RunMetrics(
+            scheme=scheme.name,
+            n_pes=self.machine.n_pes,
+            total_work=self.workload.total_expanded(),
+            n_expand=self.machine.n_cycles,
+            n_lb=self.machine.n_lb_phases,
+            n_transfers=self.machine.n_transfers,
+            n_init_lb=n_init_lb,
+            ledger=self.machine.ledger,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _cycle_cap_hit(self) -> bool:
+        return self.max_cycles is not None and self.machine.n_cycles >= self.max_cycles
+
+    def _expand_and_observe(self) -> TriggerState:
+        expanding = self.workload.expand_cycle()
+        dt = self.machine.charge_expansion_cycle(expanding)
+        if self.charge_collectives:
+            dt += self.machine.charge_collective(
+                self.machine.cost.scan_time(self.machine.n_pes)
+            )
+        busy = int(self.workload.busy_mask().sum())
+        return TriggerState(
+            busy=busy, expanding=expanding, n_pes=self.machine.n_pes, dt=dt
+        )
+
+    @staticmethod
+    def _record_cycle(trace: Trace | None, state: TriggerState, trigger: Trigger) -> None:
+        if trace is not None:
+            trace.record_cycle(
+                state.busy, state.expanding, trigger.last_r1, trigger.last_r2
+            )
+
+    def _maybe_balance(self, matcher: Matcher, trigger: Trigger, trace: Trace | None) -> bool:
+        """Run an LB phase if a useful transfer is possible.
+
+        When no busy/idle pair exists (e.g. every PE holds exactly one
+        node) the phase is skipped — the machine cannot redistribute — but
+        the trigger's accumulators restart so it does not re-fire every
+        cycle on stale state.
+        """
+        scheme = self.scheme
+        assert isinstance(scheme, Scheme)
+        busy = self.workload.busy_mask()
+        idle = self.workload.idle_mask()
+        if not busy.any() or not idle.any():
+            trigger.start_phase()
+            return False
+
+        rounds = 0
+        transfers = 0
+        max_rounds = _MAX_ROUNDS_FACTOR * self.machine.n_pes
+        while busy.any() and idle.any() and rounds < max_rounds:
+            result = matcher.match(busy, idle)
+            if len(result) == 0:
+                break
+            transfers += self.workload.transfer(result.donors, result.receivers)
+            rounds += 1
+            if not scheme.multiple_transfers:
+                break
+            busy = self.workload.busy_mask()
+            idle = self.workload.idle_mask()
+
+        dt = self.machine.charge_lb_phase(
+            transfer_rounds=rounds,
+            n_transfers=transfers,
+            setup_scans=matcher.setup_scans,
+        )
+        if trace is not None:
+            trace.record_lb(self.machine.n_cycles - 1)
+        trigger.notify_lb_cost(dt)
+        trigger.start_phase()
+        return True
+
+    def _initial_distribution(
+        self, matcher: Matcher, trigger: Trigger, trace: Trace | None
+    ) -> int:
+        """Section 7's initialization: balance after every cycle until the
+        active fraction reaches ``init_threshold`` (or work runs out)."""
+        assert self.init_threshold is not None
+        target = self.init_threshold * self.machine.n_pes
+        phases = 0
+        while not self.workload.done() and not self._cycle_cap_hit():
+            state = self._expand_and_observe()
+            self._record_cycle(trace, state, trigger)
+            if self.workload.done():
+                break
+            non_idle = self.machine.n_pes - int(self.workload.idle_mask().sum())
+            if non_idle >= target:
+                break
+            if self._maybe_balance(matcher, trigger, trace):
+                phases += 1
+        return phases

@@ -1,0 +1,187 @@
+"""Triggering schemes: when to leave the search phase (Section 2).
+
+All triggers observe, after every node-expansion cycle, the number of busy
+(splittable) PEs ``A``, the number of PEs that expanded, and the cycle
+time.  They answer "enter a load-balancing phase now?".
+
+- :class:`StaticTrigger` — **S^x**: trigger when ``A <= x * P`` (Eq. 1).
+- :class:`DPTrigger` — **D_P** (Powley/Ferguson/Korf): trigger when
+  ``w / (t + L) >= A`` (Eq. 2), where ``w`` is work done in
+  processor-seconds this search phase, ``t`` the phase's elapsed time and
+  ``L`` the estimated cost of the next LB phase (approximated by the cost
+  of the previous one).  Requires *multiple* work transfers per LB phase
+  to perform well (Section 2.3 / 6.1).
+- :class:`DKTrigger` — **D_K** (the paper's new scheme): trigger when the
+  accumulated idle time of the search phase reaches the cost of the next
+  LB phase across all processors, ``w_idle >= L * P`` (Eq. 4).  Its total
+  overhead is provably within 2x of the optimal static trigger
+  (Section 6.2).
+
+Triggers expose ``last_r1`` / ``last_r2``, the two areas of Figure 1, for
+the trigger-geometry benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_probability, check_positive
+
+__all__ = ["TriggerState", "Trigger", "StaticTrigger", "DPTrigger", "DKTrigger"]
+
+
+@dataclass(frozen=True)
+class TriggerState:
+    """Per-cycle observation handed to a trigger.
+
+    Attributes
+    ----------
+    busy:
+        ``A`` — PEs holding >= 2 nodes (able to donate).
+    expanding:
+        PEs that expanded a node this cycle.
+    n_pes:
+        ``P``.
+    dt:
+        Duration of the cycle (``U_calc``).
+    """
+
+    busy: int
+    expanding: int
+    n_pes: int
+    dt: float
+
+
+class Trigger:
+    """Base triggering scheme.
+
+    ``multiple_transfers`` declares whether the scheme needs repeated
+    work-transfer rounds within one LB phase (Table 1: only D_P does).
+    """
+
+    name: str = "abstract"
+    multiple_transfers: bool = False
+
+    #: Figure 1 introspection: the two areas compared by dynamic triggers.
+    last_r1: float = 0.0
+    last_r2: float = 0.0
+
+    def start_phase(self) -> None:
+        """Reset per-search-phase accumulators (called when a phase begins)."""
+
+    def after_cycle(self, state: TriggerState) -> bool:
+        """Return True to enter a load-balancing phase now."""
+        raise NotImplementedError
+
+    def notify_lb_cost(self, cost_seconds: float) -> None:
+        """Report the elapsed cost of the LB phase just performed.
+
+        Dynamic triggers use it as the estimate ``L`` of the *next* phase's
+        cost ("the value of L ... is approximated by the cost of the
+        previous load balancing phase", Section 2.1).
+        """
+
+    def reset(self) -> None:
+        """Full reset for a fresh run."""
+        self.start_phase()
+
+
+@dataclass
+class StaticTrigger(Trigger):
+    """S^x: trigger as soon as ``A <= x * P`` (Equation 1)."""
+
+    x: float = 0.75
+    name: str = field(init=False)
+    multiple_transfers: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.x, "x")
+        self.name = f"S{self.x:.2f}"
+
+    def after_cycle(self, state: TriggerState) -> bool:
+        self.last_r1 = float(state.busy)
+        self.last_r2 = self.x * state.n_pes
+        return state.busy <= self.x * state.n_pes
+
+
+@dataclass
+class DPTrigger(Trigger):
+    """D_P: trigger when ``w - A*t >= A*L`` (Equations 2-3).
+
+    ``initial_lb_cost`` seeds the estimate ``L`` before any LB phase has
+    run.  Note the scheme's documented pathology: with few active PEs,
+    ``w`` grows slowly and the trigger may fire arbitrarily late — or
+    never, when ``A`` drops to small values under a high ``L``
+    (Section 6.1).  We reproduce that behaviour faithfully; the scheduler
+    ends the run when the workload is exhausted regardless.
+    """
+
+    initial_lb_cost: float = 0.013
+    name: str = field(default="DP", init=False)
+    multiple_transfers: bool = field(default=True, init=False)
+
+    _work: float = field(default=0.0, init=False, repr=False)
+    _elapsed: float = field(default=0.0, init=False, repr=False)
+    _lb_cost: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.initial_lb_cost, "initial_lb_cost")
+        self._lb_cost = self.initial_lb_cost
+
+    def start_phase(self) -> None:
+        self._work = 0.0
+        self._elapsed = 0.0
+
+    def notify_lb_cost(self, cost_seconds: float) -> None:
+        self._lb_cost = float(cost_seconds)
+
+    def reset(self) -> None:
+        self._lb_cost = self.initial_lb_cost
+        self.start_phase()
+
+    def after_cycle(self, state: TriggerState) -> bool:
+        # w is the sum of time spent by all processors doing node
+        # expansions during the current search phase (footnote 3).
+        self._work += state.expanding * state.dt
+        self._elapsed += state.dt
+        # Rewritten form (Eq. 3): R1 = w - A*t, R2 = A*L.
+        self.last_r1 = self._work - state.busy * self._elapsed
+        self.last_r2 = state.busy * self._lb_cost
+        return self.last_r1 >= self.last_r2
+
+
+@dataclass
+class DKTrigger(Trigger):
+    """D_K: trigger when ``w_idle >= L * P`` (Equation 4) — new scheme.
+
+    Balances the idle time accumulated during the search phase against the
+    total processor-seconds the next LB phase will consume.
+    """
+
+    initial_lb_cost: float = 0.013
+    name: str = field(default="DK", init=False)
+    multiple_transfers: bool = field(default=False, init=False)
+
+    _idle: float = field(default=0.0, init=False, repr=False)
+    _lb_cost: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.initial_lb_cost, "initial_lb_cost")
+        self._lb_cost = self.initial_lb_cost
+
+    def start_phase(self) -> None:
+        self._idle = 0.0
+
+    def notify_lb_cost(self, cost_seconds: float) -> None:
+        self._lb_cost = float(cost_seconds)
+
+    def reset(self) -> None:
+        self._lb_cost = self.initial_lb_cost
+        self.start_phase()
+
+    def after_cycle(self, state: TriggerState) -> bool:
+        # w_idle: idle processor-seconds since the search phase began.
+        self._idle += (state.n_pes - state.expanding) * state.dt
+        self.last_r1 = self._idle
+        self.last_r2 = self._lb_cost * state.n_pes
+        return self.last_r1 >= self.last_r2

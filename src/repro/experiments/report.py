@@ -1,0 +1,96 @@
+"""Result containers and text rendering for experiments.
+
+``TableResult`` and ``SeriesResult`` carry an experiment id (the paper's
+table/figure number), the structured data, and notes comparing against
+the paper's reported shape.  ``render()`` produces the monospace report;
+``save()`` writes it under a results directory for the record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.tables import format_table
+
+__all__ = ["TableResult", "SeriesResult"]
+
+
+@dataclass
+class TableResult:
+    """A regenerated paper table."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    formats: list[str | None] | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = format_table(
+            self.headers, self.rows, formats=self.formats, title=f"[{self.exp_id}] {self.title}"
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def save(self, directory: str | Path) -> Path:
+        path = Path(directory) / f"{self.exp_id}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render() + "\n")
+        return path
+
+
+@dataclass
+class SeriesResult:
+    """A regenerated paper figure, as named (x, y) series.
+
+    ``series`` maps a curve label to its points.  ``render()`` prints the
+    series as aligned columns — the textual equivalent of the plot.
+    """
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[float, float]]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, *, chart: bool = True) -> str:
+        lines = [f"[{self.exp_id}] {self.title}"]
+        if chart:
+            try:
+                lines.append(self.render_chart())
+                lines.append("")
+            except ValueError:
+                pass  # un-plottable series (empty, or non-positive on log)
+        for label, points in self.series.items():
+            lines.append(f"  series: {label}  ({self.x_label} -> {self.y_label})")
+            for x, y in points:
+                lines.append(f"    {x:>14.6g}  {y:>14.6g}")
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def render_chart(self, *, width: int = 72, height: int = 20) -> str:
+        """ASCII scatter plot of the series (log-log when all positive)."""
+        from repro.util.ascii_plot import ascii_plot
+
+        positive = all(
+            x > 0 and y > 0 for pts in self.series.values() for x, y in pts
+        )
+        return ascii_plot(
+            self.series,
+            width=width,
+            height=height,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            logx=positive,
+            logy=positive,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        path = Path(directory) / f"{self.exp_id}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render() + "\n")
+        return path

@@ -1,0 +1,159 @@
+"""Run helpers: single scheduled runs and (scheme, W, P) grids.
+
+A :class:`Scale` bundles the machine size and the four problem sizes of
+the paper's Table 2.  ``PAPER_SCALE`` is the CM-2 configuration verbatim
+(P = 8192, W up to 1.61e7 — fully affordable on the vectorized divisible
+workload); ``SMALL_SCALE`` divides both by 16 for quick test runs, and
+``TINY_SCALE`` is for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Scheme, make_scheme, parse_scheme_spec
+from repro.core.metrics import RunMetrics
+from repro.core.scheduler import Scheduler
+from repro.core.splitting import WorkSplitter
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.util.rng import spawn_child
+from repro.workmodel.divisible import DivisibleWorkload
+
+__all__ = [
+    "Scale",
+    "PAPER_SCALE",
+    "SMALL_SCALE",
+    "TINY_SCALE",
+    "GridRecord",
+    "run_divisible",
+    "run_grid",
+    "default_init_threshold",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """An experiment scale: machine size and the four Table 2 work sizes."""
+
+    name: str
+    n_pes: int
+    works: tuple[int, int, int, int]
+    table5_work: int
+
+    @property
+    def largest_work(self) -> int:
+        return self.works[-1]
+
+
+#: The paper's CM-2 configuration (Section 5): 8192 processors, the four
+#: 15-puzzle problem sizes of Table 2, and Table 5's W = 2067137.
+PAPER_SCALE = Scale(
+    "paper", 8192, (941_852, 3_055_171, 6_073_623, 16_110_463), 2_067_137
+)
+
+#: Everything divided by 16 — same W/P ratios, 16x faster runs.
+SMALL_SCALE = Scale("small", 512, (58_866, 190_948, 379_601, 1_006_904), 129_196)
+
+#: Unit-test scale.
+TINY_SCALE = Scale("tiny", 64, (7_358, 23_868, 47_450, 125_863), 16_149)
+
+SCALES = {s.name: s for s in (PAPER_SCALE, SMALL_SCALE, TINY_SCALE)}
+
+
+def default_init_threshold(scheme: Scheme | str) -> float | None:
+    """Section 7's convention: dynamic triggers get the S^0.85 initial
+    distribution phase; static triggers start cold."""
+    spec = scheme.name if isinstance(scheme, Scheme) else scheme
+    try:
+        _, trig, _ = parse_scheme_spec(spec)
+    except ValueError:
+        # Baseline schemes (FESS, ...) distribute on their own trigger.
+        return None
+    return 0.85 if trig in ("DP", "DK") else None
+
+
+@dataclass(frozen=True)
+class GridRecord:
+    """One cell of a run grid."""
+
+    scheme: str
+    n_pes: int
+    total_work: int
+    metrics: RunMetrics
+
+    @property
+    def efficiency(self) -> float:
+        return self.metrics.efficiency
+
+
+def run_divisible(
+    scheme: Scheme | str,
+    total_work: int,
+    n_pes: int,
+    *,
+    cost_model: CostModel | None = None,
+    splitter: WorkSplitter | None = None,
+    seed: int = 0,
+    init_threshold: float | None | str = "auto",
+    initial: str = "root",
+    trace: bool = False,
+    max_cycles: int | None = None,
+) -> RunMetrics:
+    """One scheduled run of a scheme over a divisible workload.
+
+    ``init_threshold="auto"`` applies the paper's convention (0.85 for
+    dynamic triggers, none for static); pass ``None`` or a float to
+    override.
+    """
+    if init_threshold == "auto":
+        init_threshold = default_init_threshold(scheme)
+    workload = DivisibleWorkload(
+        total_work, n_pes, splitter=splitter, rng=seed, initial=initial
+    )
+    machine = SimdMachine(n_pes, cost_model if cost_model is not None else CostModel())
+    scheduler = Scheduler(
+        workload,
+        machine,
+        scheme,
+        init_threshold=init_threshold,
+        trace=trace,
+        max_cycles=max_cycles,
+    )
+    return scheduler.run()
+
+
+def run_grid(
+    schemes: list[Scheme | str],
+    works: list[int],
+    pes: list[int],
+    *,
+    cost_model: CostModel | None = None,
+    splitter: WorkSplitter | None = None,
+    base_seed: int = 0,
+    init_threshold: float | None | str = "auto",
+) -> list[GridRecord]:
+    """The full cross product of schemes x W x P (Figure 4/7 grids).
+
+    Each cell gets a deterministic child seed of ``base_seed``, so cells
+    are reproducible independently of grid shape.
+    """
+    records: list[GridRecord] = []
+    index = 0
+    for spec in schemes:
+        scheme = make_scheme(spec) if isinstance(spec, str) else spec
+        for n_pes in pes:
+            for total_work in works:
+                child = spawn_child(base_seed, index)
+                index += 1
+                metrics = run_divisible(
+                    scheme,
+                    total_work,
+                    n_pes,
+                    cost_model=cost_model,
+                    splitter=splitter,
+                    seed=int(child.integers(0, 2**31 - 1)),
+                    init_threshold=init_threshold,
+                )
+                records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
+    return records

@@ -1,0 +1,59 @@
+"""Speedup curves: S(P) at fixed problem size.
+
+The dual view of isoefficiency (Section 3.2): at fixed W, efficiency
+falls as P grows because total overhead rises; the speedup curve bends
+away from linear at the P where W stops being "large enough".  The
+bench uses these curves to confirm the Amdahl-style saturation the
+isoefficiency function predicts: doubling P past the knee buys little.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import Scheme
+from repro.experiments.report import SeriesResult
+from repro.experiments.runner import run_divisible
+from repro.simd.cost import CostModel
+
+__all__ = ["speedup_curves"]
+
+
+def speedup_curves(
+    schemes: list[str | Scheme],
+    total_work: int,
+    pes: list[int],
+    *,
+    cost_model: CostModel | None = None,
+    seed: int = 0,
+) -> SeriesResult:
+    """Measured speedup S = T_calc / T_par for each scheme over ``pes``.
+
+    Returns a :class:`~repro.experiments.report.SeriesResult` with one
+    curve per scheme plus the ``ideal`` (linear) reference; the notes
+    record each scheme's efficiency at the largest machine.
+    """
+    if not pes:
+        raise ValueError("pes must be non-empty")
+    series: dict[str, list[tuple[float, float]]] = {
+        "ideal": [(float(p), float(p)) for p in pes]
+    }
+    notes: list[str] = [f"fixed W = {total_work}"]
+    for spec in schemes:
+        points = []
+        last_eff = 0.0
+        for p in pes:
+            metrics = run_divisible(
+                spec, total_work, p, cost_model=cost_model, seed=seed
+            )
+            points.append((float(p), metrics.speedup))
+            last_eff = metrics.efficiency
+        name = spec if isinstance(spec, str) else spec.name
+        series[name] = points
+        notes.append(f"{name}: E at P={pes[-1]} is {last_eff:.3f}")
+    return SeriesResult(
+        exp_id="speedup",
+        title=f"Speedup at fixed W = {total_work}",
+        x_label="P",
+        y_label="speedup",
+        series=series,
+        notes=notes,
+    )

@@ -1,0 +1,92 @@
+"""JSON persistence for experiment records.
+
+Isoefficiency studies (Figures 4/7) need grids of runs that are cheap
+to re-analyze without re-running; this module round-trips
+:class:`~repro.experiments.runner.GridRecord` lists through a stable
+JSON schema, versioned so stale files fail loudly instead of silently
+misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.core.metrics import RunMetrics
+from repro.experiments.runner import GridRecord
+from repro.simd.machine import TimeLedger
+
+__all__ = ["save_records", "load_records", "to_triples"]
+
+_SCHEMA_VERSION = 1
+
+
+def _record_to_dict(record: GridRecord) -> dict:
+    m = record.metrics
+    return {
+        "scheme": record.scheme,
+        "n_pes": record.n_pes,
+        "total_work": record.total_work,
+        "n_expand": m.n_expand,
+        "n_lb": m.n_lb,
+        "n_transfers": m.n_transfers,
+        "n_init_lb": m.n_init_lb,
+        "ledger": {
+            "t_calc": m.ledger.t_calc,
+            "t_idle": m.ledger.t_idle,
+            "t_lb": m.ledger.t_lb,
+            "elapsed": m.ledger.elapsed,
+        },
+    }
+
+
+def _record_from_dict(data: dict) -> GridRecord:
+    ledger = TimeLedger(**data["ledger"])
+    metrics = RunMetrics(
+        scheme=data["scheme"],
+        n_pes=data["n_pes"],
+        total_work=data["total_work"],
+        n_expand=data["n_expand"],
+        n_lb=data["n_lb"],
+        n_transfers=data["n_transfers"],
+        n_init_lb=data["n_init_lb"],
+        ledger=ledger,
+        trace=None,
+    )
+    return GridRecord(
+        scheme=data["scheme"],
+        n_pes=data["n_pes"],
+        total_work=data["total_work"],
+        metrics=metrics,
+    )
+
+
+def save_records(records: Iterable[GridRecord], path: str | Path) -> Path:
+    """Write records to ``path`` as versioned JSON (traces are dropped)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "records": [_record_to_dict(r) for r in records],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_records(path: str | Path) -> list[GridRecord]:
+    """Read records written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported record schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    return [_record_from_dict(d) for d in payload["records"]]
+
+
+def to_triples(records: Iterable[GridRecord]) -> list[tuple[int, float, float]]:
+    """``(P, W, E)`` triples — the input of
+    :func:`repro.analysis.isoefficiency.isoefficiency_points`."""
+    return [(r.n_pes, float(r.total_work), r.efficiency) for r in records]

@@ -1,0 +1,252 @@
+"""Generators for Tables 1-6 of the paper.
+
+Every function returns a :class:`~repro.experiments.report.TableResult`
+whose rows mirror the paper's layout.  ``scale`` selects the machine and
+problem sizes: ``"paper"`` is the CM-2 configuration verbatim; ``"small"``
+(default for tests) divides P and W by 16, preserving every ratio the
+analysis says matters (W/P and t_lb/U_calc).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.optimal_trigger import optimal_static_trigger
+from repro.analysis.isoefficiency import isoefficiency_table
+from repro.core.config import PAPER_SCHEMES, make_scheme
+from repro.core.splitting import AlphaSplitter, WorkSplitter
+from repro.experiments.report import TableResult
+from repro.experiments.runner import SCALES, Scale, run_divisible
+from repro.simd.cost import CostModel
+
+__all__ = ["table1", "table2", "table3", "table4", "table5", "table6"]
+
+#: Static thresholds of Table 2's columns.
+TABLE2_THRESHOLDS = (0.50, 0.60, 0.70, 0.80, 0.90)
+
+
+def _scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"scale must be one of {sorted(SCALES)} or a Scale, got {scale!r}"
+        ) from None
+
+
+def table1(*, scale: str | Scale = "small", seed: int = 0) -> TableResult:
+    """Table 1: the six studied schemes, with a costed smoke run of each.
+
+    The paper's table is descriptive; the run columns confirm every
+    registry entry actually executes and reports sane metrics.
+    """
+    sc = _scale(scale)
+    work = sc.works[0]
+    rows: list[list[object]] = []
+    comments = {
+        "nGP-S": "similar to Powley/Korf, Mahanti/Daniels",
+        "nGP-DP": "similar to Powley et al.",
+        "nGP-DK": "new scheme",
+        "GP-S": "new scheme",
+        "GP-DP": "new scheme",
+        "GP-DK": "new scheme",
+    }
+    for spec in PAPER_SCHEMES:
+        scheme = make_scheme(spec)
+        metrics = run_divisible(scheme, work, sc.n_pes, seed=seed)
+        kind = spec.rsplit("-", 1)[0] + "-" + ("S" if "-S" in spec else spec.rsplit("-", 1)[1])
+        rows.append(
+            [
+                scheme.name,
+                comments[kind],
+                "multiple" if scheme.multiple_transfers else "single",
+                metrics.n_expand,
+                metrics.n_lb,
+                round(metrics.efficiency, 3),
+            ]
+        )
+    return TableResult(
+        exp_id="table1",
+        title=f"Studied load balancing schemes (smoke run at W={work}, P={sc.n_pes})",
+        headers=["scheme", "origin", "transfers/phase", "Nexpand", "Nlb", "E"],
+        rows=rows,
+    )
+
+
+def table2(*, scale: str | Scale = "small", seed: int = 0) -> TableResult:
+    """Table 2: N_expand, N_lb and E for nGP/GP x S^x over four W.
+
+    One row per (W, metric); one column pair (nGP, GP) per threshold; the
+    last column is the Equation 18 analytic trigger x_o.
+    """
+    sc = _scale(scale)
+    cost = CostModel()
+    headers = ["W", "metric"]
+    for x in TABLE2_THRESHOLDS:
+        headers += [f"nGP@{x:.2f}", f"GP@{x:.2f}"]
+    headers.append("x_o")
+
+    rows: list[list[object]] = []
+    for work in sc.works:
+        cells: dict[str, dict[float, object]] = {"Nexpand": {}, "Nlb": {}, "E": {}}
+        for x in TABLE2_THRESHOLDS:
+            for matching in ("nGP", "GP"):
+                m = run_divisible(
+                    f"{matching}-S{x}", work, sc.n_pes, cost_model=cost, seed=seed
+                )
+                key = (x, matching)
+                cells["Nexpand"][key] = m.n_expand
+                cells["Nlb"][key] = m.n_lb
+                cells["E"][key] = round(m.efficiency, 2)
+        x_o = optimal_static_trigger(
+            work, sc.n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(sc.n_pes)
+        )
+        for metric in ("Nexpand", "Nlb", "E"):
+            row: list[object] = [work, metric]
+            for x in TABLE2_THRESHOLDS:
+                row += [cells[metric][(x, "nGP")], cells[metric][(x, "GP")]]
+            row.append(round(x_o, 2) if metric == "E" else None)
+            rows.append(row)
+
+    return TableResult(
+        exp_id="table2",
+        title=f"Static triggering on {sc.n_pes} PEs (divisible workload)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper shape: GP == nGP at x=0.50; Nlb gap grows with x and W;",
+            "GP's best E at high x; analytic x_o tracks the observed optimum",
+        ],
+    )
+
+
+def table3(
+    *, scale: str | Scale = "small", seed: int = 0, span: float = 0.03, step: float = 0.01
+) -> TableResult:
+    """Table 3: GP-S^x efficiency at thresholds around the analytic x_o."""
+    sc = _scale(scale)
+    cost = CostModel()
+    rows: list[list[object]] = []
+    n_steps = int(round(span / step))
+    for work in sc.works:
+        x_o = optimal_static_trigger(
+            work, sc.n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(sc.n_pes)
+        )
+        for k in range(-n_steps, n_steps + 1):
+            x = min(0.99, max(0.01, x_o + k * step))
+            m = run_divisible(f"GP-S{x}", work, sc.n_pes, cost_model=cost, seed=seed)
+            rows.append(
+                [work, round(x, 3), round(m.efficiency, 3), "x_o" if k == 0 else ""]
+            )
+    return TableResult(
+        exp_id="table3",
+        title=f"Efficiency around the analytic optimal trigger (GP, P={sc.n_pes})",
+        headers=["W", "x", "E", ""],
+        rows=rows,
+        notes=["paper shape: E peaks within ~0.02 of the analytic x_o"],
+    )
+
+
+def table4(*, scale: str | Scale = "small", seed: int = 0) -> TableResult:
+    """Table 4: dynamic triggering — {nGP, GP} x {D_P, D_K} over four W.
+
+    ``*Nlb`` is the number of *work transfers* (for D_K it equals the
+    number of LB phases, as the paper notes).  All runs use the S^0.85
+    initial distribution phase of Section 7.
+    """
+    sc = _scale(scale)
+    headers = ["W", "metric", "nGP-DP", "GP-DP", "nGP-DK", "GP-DK"]
+    order = ("nGP-DP", "GP-DP", "nGP-DK", "GP-DK")
+    rows: list[list[object]] = []
+    for work in sc.works:
+        cells: dict[str, dict[str, object]] = {"Nexpand": {}, "*Nlb": {}, "E": {}}
+        for spec in order:
+            m = run_divisible(spec, work, sc.n_pes, seed=seed, init_threshold=0.85)
+            cells["Nexpand"][spec] = m.n_expand
+            cells["*Nlb"][spec] = m.n_transfers
+            cells["E"][spec] = round(m.efficiency, 2)
+        for metric in ("Nexpand", "*Nlb", "E"):
+            rows.append([work, metric] + [cells[metric][s] for s in order])
+    return TableResult(
+        exp_id="table4",
+        title=f"Dynamic triggering on {sc.n_pes} PEs (divisible workload)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper shape: GP outperforms nGP under both triggers;",
+            "DP does more transfers, DK fewer phases; overall E similar",
+        ],
+    )
+
+
+def table5(
+    *,
+    scale: str | Scale = "small",
+    seed: int = 0,
+    multipliers: tuple[float, ...] = (1.0, 12.0, 16.0),
+    splitter: WorkSplitter | None = None,
+) -> TableResult:
+    """Table 5: D_P vs D_K vs S^{x_o} under inflated LB costs (GP matching).
+
+    The paper raised the load-balancing cost 12x and 16x by padding
+    messages; here the cost model's transfer multiplier does the same.
+    The default splitter is deliberately adverse (fractions in
+    ``[0.02, 0.98]``): the real bottom-of-stack donations are just as
+    uneven, and it is those activity cliffs that expose D_P's
+    late-triggering pathology (Section 6.1).
+    """
+    sc = _scale(scale)
+    work = sc.table5_work
+    if splitter is None:
+        splitter = AlphaSplitter(alpha_min=0.02, alpha_max=0.98)
+    headers = ["metric"] + [
+        f"{name}@{int(mult)}x" for mult in multipliers for name in ("DP", "DK", "Sxo")
+    ]
+    cells: dict[str, list[object]] = {"Nexpand": [], "*Nlb": [], "E": []}
+    for mult in multipliers:
+        cost = CostModel().with_lb_multiplier(mult)
+        t_lb = cost.lb_phase_time(sc.n_pes)
+        x_o = optimal_static_trigger(work, sc.n_pes, u_calc=cost.u_calc, t_lb=t_lb)
+        for spec, init in (
+            ("GP-DP", 0.85),
+            ("GP-DK", 0.85),
+            (f"GP-S{x_o:.4f}", None),
+        ):
+            m = run_divisible(
+                spec,
+                work,
+                sc.n_pes,
+                cost_model=cost,
+                seed=seed,
+                init_threshold=init,
+                splitter=splitter,
+            )
+            cells["Nexpand"].append(m.n_expand)
+            cells["*Nlb"].append(m.n_transfers)
+            cells["E"].append(round(m.efficiency, 2))
+    rows = [[metric] + cells[metric] for metric in ("Nexpand", "*Nlb", "E")]
+    return TableResult(
+        exp_id="table5",
+        title=f"Inflated LB cost, W={work}, GP matching, P={sc.n_pes}",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper shape: at 1x, DP ~ DK ~ Sxo; at 12x/16x DK clearly beats DP",
+            "and stays within ~10% of the optimal static trigger",
+        ],
+    )
+
+
+def table6(*, x: float = 0.9) -> TableResult:
+    """Table 6: analytic isoefficiency functions per architecture."""
+    rows = [list(r) for r in isoefficiency_table(x=x)]
+    return TableResult(
+        exp_id="table6",
+        title=f"Isoefficiency functions for static triggering (x = {x})",
+        headers=["architecture", "scheme", "isoefficiency"],
+        rows=rows,
+        notes=[
+            "empirical growth-rate verification lives in",
+            "benchmarks/bench_table6_isoeff.py (fits W vs P log P on a grid)",
+        ],
+    )

@@ -1,0 +1,39 @@
+"""Concrete search problems.
+
+- :mod:`repro.problems.npuzzle` — the generalized sliding-tile puzzle with
+  the Manhattan-distance heuristic (the paper's 15-puzzle is ``side=4``).
+- :mod:`repro.problems.fifteen_puzzle` — 15-puzzle instance library and
+  helpers (scrambles of calibrated difficulty, classic hard instances).
+- :mod:`repro.problems.nqueens` — N-queens backtracking (a pure
+  unstructured backtracking tree, no heuristic pruning).
+- :mod:`repro.problems.synthetic` — deterministic random trees: identical
+  structure under any traversal order, sized by construction.
+"""
+
+from repro.problems.npuzzle import SlidingPuzzle, PuzzleState, manhattan_distance
+from repro.problems.fifteen_puzzle import (
+    FifteenPuzzle,
+    scrambled_fifteen_puzzle,
+    BENCH_INSTANCES,
+)
+from repro.problems.nqueens import NQueensProblem
+from repro.problems.synthetic import SyntheticTreeProblem
+from repro.problems.knapsack import KnapsackProblem, KnapsackState
+from repro.problems.tsp import TSPProblem, TourState
+from repro.problems.coloring import GraphColoringProblem
+
+__all__ = [
+    "KnapsackProblem",
+    "KnapsackState",
+    "TSPProblem",
+    "TourState",
+    "GraphColoringProblem",
+    "SlidingPuzzle",
+    "PuzzleState",
+    "manhattan_distance",
+    "FifteenPuzzle",
+    "scrambled_fifteen_puzzle",
+    "BENCH_INSTANCES",
+    "NQueensProblem",
+    "SyntheticTreeProblem",
+]

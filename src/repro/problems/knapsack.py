@@ -1,0 +1,144 @@
+"""0/1 knapsack by depth-first branch and bound.
+
+The combinatorial-optimization workload the paper's introduction cites
+(Horowitz & Sahni [13]).  The decision tree fixes items in
+value-density order — at each level, take or skip the next item — and
+prunes with the classic fractional-relaxation bound: the best packing
+of the remaining capacity if items could be split.  The bound is exact
+on the relaxation, hence admissible for the 0/1 problem.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.search.branch_and_bound import BnBProblem
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["KnapsackState", "KnapsackProblem"]
+
+
+class KnapsackState(NamedTuple):
+    """A decision-tree node: items 0..index-1 decided.
+
+    ``value``/``weight`` accumulate the taken items.
+    """
+
+    index: int
+    weight: int
+    value: int
+
+
+class KnapsackProblem(BnBProblem):
+    """Maximize value within a weight capacity.
+
+    Parameters
+    ----------
+    weights, values:
+        Item data (positive integers).  Items are internally sorted by
+        value density, the order the fractional bound requires.
+    capacity:
+        Knapsack capacity.
+    """
+
+    sense = "max"
+
+    def __init__(self, weights, values, capacity: int) -> None:
+        weights = [int(w) for w in weights]
+        values = [int(v) for v in values]
+        if len(weights) != len(values) or not weights:
+            raise ValueError("weights and values must be equal-length, non-empty")
+        if any(w <= 0 for w in weights) or any(v <= 0 for v in values):
+            raise ValueError("weights and values must be positive")
+        self.capacity = check_positive_int(capacity, "capacity")
+        order = sorted(
+            range(len(weights)), key=lambda i: values[i] / weights[i], reverse=True
+        )
+        self.weights = tuple(weights[i] for i in order)
+        self.values = tuple(values[i] for i in order)
+        self.n_items = len(weights)
+
+    # -- instance generation -----------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        n_items: int,
+        *,
+        rng: int | np.random.Generator | None = None,
+        max_weight: int = 100,
+        capacity_fraction: float = 0.5,
+        correlated: bool = True,
+    ) -> "KnapsackProblem":
+        """A seeded random instance.
+
+        ``correlated=True`` gives values near weights (the classically
+        *hard* family — bounds stay tight, trees stay bushy).
+        """
+        check_positive_int(n_items, "n_items")
+        gen = as_generator(rng)
+        weights = gen.integers(1, max_weight + 1, size=n_items)
+        if correlated:
+            values = weights + gen.integers(1, max_weight // 2 + 1, size=n_items)
+        else:
+            values = gen.integers(1, max_weight + 1, size=n_items)
+        capacity = max(1, int(capacity_fraction * weights.sum()))
+        return cls(weights.tolist(), values.tolist(), capacity)
+
+    # -- BnBProblem ----------------------------------------------------------
+
+    def initial_state(self) -> KnapsackState:
+        return KnapsackState(0, 0, 0)
+
+    def expand(self, state: KnapsackState) -> list[KnapsackState]:
+        if state.index >= self.n_items:
+            return []
+        i = state.index
+        children = []
+        # "Take" first: depth-first finds good incumbents early.
+        if state.weight + self.weights[i] <= self.capacity:
+            children.append(
+                KnapsackState(
+                    i + 1, state.weight + self.weights[i], state.value + self.values[i]
+                )
+            )
+        children.append(KnapsackState(i + 1, state.weight, state.value))
+        return children
+
+    def objective(self, state: KnapsackState) -> float | None:
+        if state.index >= self.n_items:
+            return float(state.value)
+        return None
+
+    def bound(self, state: KnapsackState) -> float:
+        """Fractional relaxation from ``state.index`` onward."""
+        room = self.capacity - state.weight
+        total = float(state.value)
+        for i in range(state.index, self.n_items):
+            w = self.weights[i]
+            if w <= room:
+                room -= w
+                total += self.values[i]
+            else:
+                total += self.values[i] * (room / w)
+                break
+        return total
+
+    # -- reference solution ---------------------------------------------------
+
+    def solve_dp(self) -> int:
+        """Exact optimum by dynamic programming (O(n * capacity)).
+
+        Ground truth for tests — independent of any search code.
+        """
+        best = np.zeros(self.capacity + 1, dtype=np.int64)
+        for w, v in zip(self.weights, self.values):
+            if w > self.capacity:
+                continue
+            # The RHS snapshots the pre-update array, so each item is
+            # used at most once (0/1 semantics).
+            best[w:] = np.maximum(best[w:], best[:-w] + v)
+        return int(best[-1])

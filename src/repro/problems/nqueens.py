@@ -1,0 +1,56 @@
+"""N-queens backtracking — a pure unstructured backtracking tree.
+
+The paper cites backtracking (Horowitz & Sahni [13]) as a canonical
+depth-first workload.  States are prefixes of a column assignment; the
+successor generator keeps only non-attacking placements, so the tree is
+highly irregular: most branches die early, a few run deep — exactly the
+shape that stresses load balancing.
+
+The heuristic ``n - len(placed)`` counts the queens still to place; it is
+exact on depth, so IDA* jumps straight to bound ``n`` and finishes in one
+iteration that enumerates every solution.
+"""
+
+from __future__ import annotations
+
+from repro.search.problem import SearchProblem
+from repro.util.validation import check_positive_int
+
+__all__ = ["NQueensProblem"]
+
+
+class NQueensProblem(SearchProblem):
+    """Place ``n`` mutually non-attacking queens, one per row.
+
+    A state is the tuple of column indices of queens already placed on
+    rows ``0 .. len(state)-1``.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int(n, "n")
+
+    def initial_state(self) -> tuple[int, ...]:
+        return ()
+
+    def expand(self, state: tuple[int, ...]) -> list[tuple[int, ...]]:
+        row = len(state)
+        if row >= self.n:
+            return []
+        out = []
+        for col in range(self.n):
+            if self._safe(state, row, col):
+                out.append(state + (col,))
+        return out
+
+    def is_goal(self, state: tuple[int, ...]) -> bool:
+        return len(state) == self.n
+
+    def heuristic(self, state: tuple[int, ...]) -> int:
+        return self.n - len(state)
+
+    @staticmethod
+    def _safe(state: tuple[int, ...], row: int, col: int) -> bool:
+        for r, c in enumerate(state):
+            if c == col or abs(c - col) == row - r:
+                return False
+        return True

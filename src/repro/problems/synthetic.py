@@ -1,0 +1,114 @@
+"""Deterministic synthetic irregular trees.
+
+A reproducible stand-in for "unstructured tree" workloads: the shape of
+the tree is a pure function of ``(seed, node id)`` through a splitmix64
+hash, so serial and parallel searches see the identical tree no matter
+how subtrees migrate between processors — the property the validation
+tests rely on.
+
+Branching is hash-drawn in ``[0, max_branching]`` (uniform, so the mean
+is ``max_branching / 2``); ``depth_limit`` guarantees finiteness.  Goals
+appear independently with ``goal_density`` probability, again decided by
+hash.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.search.problem import SearchProblem
+from repro.util.validation import check_positive_int
+
+__all__ = ["SyntheticTreeProblem"]
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One step of the splitmix64 mixer — a high-quality 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+class TreeNode(NamedTuple):
+    """A synthetic tree node: its hash identity and depth."""
+
+    uid: int
+    depth: int
+
+
+class SyntheticTreeProblem(SearchProblem):
+    """A finite, irregular, fully deterministic random tree.
+
+    Parameters
+    ----------
+    seed:
+        Tree identity; different seeds give independent trees.
+    max_branching:
+        Children per node are uniform in ``[0, max_branching]``.
+    depth_limit:
+        Nodes at this depth are leaves; with mean branching ``b/2`` the
+        expected size is roughly ``(b/2)^depth_limit``.
+    goal_density:
+        Per-node goal probability (0 disables goals — an exhaustive
+        search, the paper's finite-space-no-solution case).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        max_branching: int = 4,
+        depth_limit: int = 12,
+        goal_density: float = 0.0,
+    ) -> None:
+        self.seed = int(seed)
+        self.max_branching = check_positive_int(max_branching, "max_branching")
+        self.depth_limit = check_positive_int(depth_limit, "depth_limit")
+        if not 0.0 <= goal_density <= 1.0:
+            raise ValueError(f"goal_density must be in [0, 1], got {goal_density}")
+        self.goal_density = float(goal_density)
+        self._goal_cut = int(goal_density * (_MASK + 1))
+
+    def initial_state(self) -> TreeNode:
+        return TreeNode(_splitmix64(self.seed), 0)
+
+    def expand(self, state: TreeNode) -> list[TreeNode]:
+        if state.depth >= self.depth_limit:
+            return []
+        h = _splitmix64(state.uid ^ 0xA5A5A5A5A5A5A5A5)
+        # Root always branches fully so small trees still parallelize.
+        if state.depth == 0:
+            n_children = self.max_branching
+        else:
+            n_children = h % (self.max_branching + 1)
+        return [
+            TreeNode(_splitmix64(state.uid * 1315423911 + i + 1), state.depth + 1)
+            for i in range(n_children)
+        ]
+
+    def is_goal(self, state: TreeNode) -> bool:
+        if self._goal_cut == 0 or state.depth == 0:
+            return False
+        return _splitmix64(state.uid ^ 0x5DEECE66D) < self._goal_cut
+
+    def heuristic(self, state: TreeNode) -> int:
+        return 0
+
+    # -- sizing helper -------------------------------------------------------
+
+    def count_nodes(self, *, max_nodes: int = 10_000_000) -> int:
+        """Exact node count by full traversal (for experiment sizing)."""
+        count = 0
+        stack = [self.initial_state()]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if count > max_nodes:
+                raise RuntimeError(f"tree exceeds max_nodes={max_nodes}")
+            if not self.is_goal(node):
+                stack.extend(self.expand(node))
+        return count

@@ -1,0 +1,145 @@
+"""Symmetric TSP by depth-first branch and bound.
+
+The operations-research workload of the paper's introduction
+(Papadimitriou & Steiglitz [27]).  The decision tree extends a partial
+tour city by city from city 0; the admissible bound adds, for every
+city still to be left (the current city and all unvisited ones), its
+cheapest available outgoing edge — a classical lower bound that keeps
+the tree irregular without being trivially tight.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.search.branch_and_bound import BnBProblem
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["TourState", "TSPProblem"]
+
+
+class TourState(NamedTuple):
+    """A partial tour starting at city 0."""
+
+    tour: tuple[int, ...]
+    cost: float
+
+
+class TSPProblem(BnBProblem):
+    """Minimize the length of a closed tour over all cities.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric (n, n) matrix with zero diagonal.
+    """
+
+    sense = "min"
+
+    def __init__(self, distances) -> None:
+        d = np.asarray(distances, dtype=np.float64)
+        if d.ndim != 2 or d.shape[0] != d.shape[1] or d.shape[0] < 2:
+            raise ValueError("distances must be a square matrix of size >= 2")
+        if not np.allclose(d, d.T):
+            raise ValueError("distances must be symmetric")
+        if np.any(np.diag(d) != 0):
+            raise ValueError("distances must have a zero diagonal")
+        if np.any(d < 0):
+            raise ValueError("distances must be non-negative")
+        self.d = d
+        self.n = d.shape[0]
+        # Cheapest incident edge per city (excluding the zero diagonal).
+        off = d + np.where(np.eye(self.n, dtype=bool), np.inf, 0.0)
+        self._min_edge = off.min(axis=1)
+
+    # -- instance generation -----------------------------------------------
+
+    @classmethod
+    def random_euclidean(
+        cls, n_cities: int, *, rng: int | np.random.Generator | None = None
+    ) -> "TSPProblem":
+        """Cities uniform in the unit square, Euclidean distances."""
+        check_positive_int(n_cities, "n_cities")
+        gen = as_generator(rng)
+        pts = gen.random((n_cities, 2))
+        diff = pts[:, None, :] - pts[None, :, :]
+        return cls(np.sqrt((diff**2).sum(axis=2)))
+
+    # -- BnBProblem ----------------------------------------------------------
+
+    def initial_state(self) -> TourState:
+        return TourState((0,), 0.0)
+
+    def expand(self, state: TourState) -> list[TourState]:
+        if len(state.tour) >= self.n:
+            return []
+        current = state.tour[-1]
+        visited = set(state.tour)
+        children = []
+        # Nearest-first ordering: good incumbents early, like the
+        # knapsack's take-first branch.
+        candidates = sorted(
+            (c for c in range(self.n) if c not in visited),
+            key=lambda c: self.d[current, c],
+        )
+        for c in candidates:
+            children.append(
+                TourState(state.tour + (c,), state.cost + self.d[current, c])
+            )
+        return children
+
+    def objective(self, state: TourState) -> float | None:
+        if len(state.tour) == self.n:
+            return state.cost + self.d[state.tour[-1], 0]
+        return None
+
+    def bound(self, state: TourState) -> float:
+        """Partial cost + cheapest-outgoing-edge sum for open cities.
+
+        Every city outside the partial tour, plus the tour's current
+        endpoint, must still be *left* once; each such departure costs
+        at least that city's cheapest incident edge.
+        """
+        if len(state.tour) == self.n:
+            return state.cost + self.d[state.tour[-1], 0]
+        visited = set(state.tour)
+        total = state.cost + self._min_edge[state.tour[-1]]
+        for c in range(self.n):
+            if c not in visited:
+                total += self._min_edge[c]
+        return total
+
+    # -- reference solution ---------------------------------------------------
+
+    def solve_held_karp(self) -> float:
+        """Exact optimum by Held-Karp dynamic programming (O(2^n n^2)).
+
+        Independent ground truth for tests; practical to ~15 cities.
+        """
+        n = self.n
+        if n > 18:
+            raise ValueError("Held-Karp reference limited to 18 cities")
+        full = 1 << (n - 1)  # subsets of cities 1..n-1
+        inf = np.inf
+        cost = np.full((full, n - 1), inf)
+        for j in range(n - 1):
+            cost[1 << j, j] = self.d[0, j + 1]
+        for mask in range(1, full):
+            for j in range(n - 1):
+                if not mask & (1 << j) or cost[mask, j] == inf:
+                    continue
+                base = cost[mask, j]
+                for k in range(n - 1):
+                    if mask & (1 << k):
+                        continue
+                    new = base + self.d[j + 1, k + 1]
+                    idx = mask | (1 << k)
+                    if new < cost[idx, k]:
+                        cost[idx, k] = new
+        best = min(
+            cost[full - 1, j] + self.d[j + 1, 0] for j in range(n - 1)
+        )
+        return float(best)

@@ -1,0 +1,316 @@
+"""Depth-First Branch and Bound, serial and SIMD-parallel.
+
+The paper's Section 2 lists DFBB (Kumar [16]) among the depth-first
+methods its load balancing serves; this module supplies that driver for
+the combinatorial-optimization and operations-research workloads the
+introduction motivates (Horowitz/Sahni [13], Papadimitriou/Steiglitz
+[27]).
+
+Lock-step semantics of the parallel engine: each cycle, every non-empty
+PE expands one node, pruning against the **global incumbent of the
+previous cycle** — incumbents found during a cycle are combined by a
+(costed-as-free, like trigger evaluation) reduction at the cycle
+boundary and take effect on the next cycle, exactly what a CM-2 global
+min/max delivers.  Because pruning power depends on when incumbents are
+found, parallel DFBB *does* exhibit node-count anomalies (unlike the
+all-solutions IDA* setup); the tests therefore assert optimality of the
+returned value, not node-count equality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Scheme, make_scheme
+from repro.core.metrics import RunMetrics
+from repro.core.scheduler import Scheduler
+from repro.search.stack import DFSStack, StackEntry
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+
+__all__ = [
+    "BnBProblem",
+    "SerialBnBResult",
+    "serial_dfbb",
+    "BnBWorkload",
+    "ParallelDFBB",
+    "ParallelBnBResult",
+]
+
+
+class BnBProblem(ABC):
+    """A branch-and-bound problem over a finite decision tree.
+
+    ``sense`` is ``"max"`` or ``"min"``.  ``objective`` returns the
+    value of a *complete* solution and ``None`` for internal nodes;
+    ``bound`` returns an optimistic (admissible) estimate of the best
+    completion reachable from a state — a value that is never worse
+    than any descendant's objective.
+    """
+
+    sense: str = "max"
+
+    @abstractmethod
+    def initial_state(self) -> Hashable:
+        """Root of the decision tree."""
+
+    @abstractmethod
+    def expand(self, state: Hashable) -> Sequence[Hashable]:
+        """Children of an internal node (deterministic order)."""
+
+    @abstractmethod
+    def objective(self, state: Hashable) -> float | None:
+        """Value of a complete solution, ``None`` if ``state`` is internal."""
+
+    @abstractmethod
+    def bound(self, state: Hashable) -> float:
+        """Optimistic bound on the best completion of ``state``."""
+
+    # -- comparison helpers (direction-agnostic code reads better) -------
+
+    def is_better(self, a: float, b: float) -> bool:
+        """True if objective ``a`` improves on ``b``."""
+        return a > b if self.sense == "max" else a < b
+
+    def worst_value(self) -> float:
+        """The identity element for the incumbent."""
+        return float("-inf") if self.sense == "max" else float("inf")
+
+    def prunable(self, state: Hashable, incumbent: float) -> bool:
+        """True if no completion of ``state`` can beat ``incumbent``.
+
+        Ties prune: an equal-valued solution adds nothing.
+        """
+        b = self.bound(state)
+        return not self.is_better(b, incumbent)
+
+
+@dataclass(frozen=True)
+class SerialBnBResult:
+    """Outcome of a serial DFBB run."""
+
+    best_value: float | None
+    expanded: int
+    incumbent_updates: int
+
+
+def serial_dfbb(
+    problem: BnBProblem,
+    *,
+    max_expansions: int | None = None,
+) -> SerialBnBResult:
+    """Serial depth-first branch and bound with eager pruning.
+
+    Children are pruned against the incumbent at *generation* time, and
+    re-checked at expansion (the incumbent may have improved while they
+    sat on the stack) — the standard DFBB discipline.
+    """
+    incumbent = problem.worst_value()
+    updates = 0
+    expanded = 0
+    stack = [problem.initial_state()]
+    while stack:
+        state = stack.pop()
+        # Late pruning: incumbent may have improved since this node was
+        # pushed.
+        if incumbent != problem.worst_value() and problem.prunable(state, incumbent):
+            continue
+        expanded += 1
+        if max_expansions is not None and expanded > max_expansions:
+            raise RuntimeError(f"serial_dfbb exceeded max_expansions={max_expansions}")
+        value = problem.objective(state)
+        if value is not None:
+            if problem.is_better(value, incumbent):
+                incumbent = value
+                updates += 1
+            continue
+        for child in reversed(problem.expand(state)):
+            if incumbent == problem.worst_value() or not problem.prunable(
+                child, incumbent
+            ):
+                stack.append(child)
+    best = None if updates == 0 else incumbent
+    return SerialBnBResult(best_value=best, expanded=expanded, incumbent_updates=updates)
+
+
+class BnBWorkload:
+    """Lock-step DFBB over per-PE stacks (Workload protocol).
+
+    The incumbent visible to all PEs during cycle ``t`` is the global
+    best at the end of cycle ``t-1``: improvements found within a cycle
+    are merged at the cycle boundary (the SIMD global-reduce step).
+    ``broadcast_every`` delays that merge to every k-th boundary — the
+    ablation knob for incumbent-sharing frequency.
+    """
+
+    def __init__(
+        self,
+        problem: BnBProblem,
+        n_pes: int,
+        *,
+        broadcast_every: int = 1,
+    ) -> None:
+        if broadcast_every < 1:
+            raise ValueError(f"broadcast_every must be >= 1, got {broadcast_every}")
+        self.problem = problem
+        self.n_pes = int(n_pes)
+        self.broadcast_every = broadcast_every
+
+        self.stacks = [DFSStack() for _ in range(self.n_pes)]
+        self.stacks[0] = DFSStack([StackEntry(problem.initial_state(), 0)])
+        self.incumbent = problem.worst_value()
+        self._pending = problem.worst_value()  # best found since last merge
+        self.incumbent_updates = 0
+        self.expanded = 0
+        self._cycles = 0
+
+    # -- Workload protocol ------------------------------------------------
+
+    def _counts(self) -> np.ndarray:
+        return np.fromiter(
+            (s.node_count() for s in self.stacks), dtype=np.int64, count=self.n_pes
+        )
+
+    def expanding_mask(self) -> np.ndarray:
+        return self._counts() > 0
+
+    def busy_mask(self) -> np.ndarray:
+        return self._counts() >= 2
+
+    def idle_mask(self) -> np.ndarray:
+        return self._counts() == 0
+
+    def _have_incumbent(self) -> bool:
+        return self.incumbent != self.problem.worst_value()
+
+    def expand_cycle(self) -> int:
+        problem = self.problem
+        n = 0
+        for stack in self.stacks:
+            entry = stack.pop_next()
+            if entry is None:
+                continue
+            state = entry.state
+            # Late pruning against the broadcast incumbent; a pruned pop
+            # still costs the PE its cycle slot (it did the bound test in
+            # lock-step) but expands no node.
+            if self._have_incumbent() and problem.prunable(state, self.incumbent):
+                continue
+            n += 1
+            self.expanded += 1
+            value = problem.objective(state)
+            if value is not None:
+                if problem.is_better(value, self._pending):
+                    self._pending = value
+                continue
+            level = []
+            for child in problem.expand(state):
+                if not self._have_incumbent() or not problem.prunable(
+                    child, self.incumbent
+                ):
+                    level.append(StackEntry(child, entry.g + 1))
+            level.reverse()
+            stack.push_level(level)
+
+        self._cycles += 1
+        if self._cycles % self.broadcast_every == 0:
+            self._merge_incumbent()
+        return n
+
+    def _merge_incumbent(self) -> None:
+        if self._pending != self.problem.worst_value() and self.problem.is_better(
+            self._pending, self.incumbent
+        ):
+            self.incumbent = self._pending
+            self.incumbent_updates += 1
+
+    def transfer(self, donors: np.ndarray, receivers: np.ndarray) -> int:
+        donors = np.asarray(donors, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if donors.shape != receivers.shape:
+            raise ValueError("donors and receivers must pair one-to-one")
+        moved = 0
+        for d, r in zip(donors.tolist(), receivers.tolist()):
+            donor = self.stacks[d]
+            if not donor.can_split() or not self.stacks[r].is_empty():
+                continue
+            entry = donor.split_bottom()
+            assert entry is not None
+            self.stacks[r] = DFSStack([entry])
+            moved += 1
+        return moved
+
+    def done(self) -> bool:
+        if not all(s.is_empty() for s in self.stacks):
+            return False
+        self._merge_incumbent()
+        return True
+
+    def total_expanded(self) -> int:
+        return self.expanded
+
+    @property
+    def best_value(self) -> float | None:
+        self._merge_incumbent()
+        return self.incumbent if self._have_incumbent() else None
+
+
+@dataclass(frozen=True)
+class ParallelBnBResult:
+    """Outcome of a parallel DFBB run."""
+
+    best_value: float | None
+    total_expanded: int
+    incumbent_updates: int
+    metrics: RunMetrics
+
+
+class ParallelDFBB:
+    """SIMD-parallel DFBB under any load-balancing scheme.
+
+    Parameters mirror :class:`~repro.search.parallel.ParallelIDAStar`;
+    ``broadcast_every`` controls how often per-cycle incumbents merge
+    into the global bound (1 = every cycle, the CM-2-natural choice).
+    """
+
+    def __init__(
+        self,
+        problem: BnBProblem,
+        n_pes: int,
+        scheme: Scheme | str,
+        *,
+        cost_model: CostModel | None = None,
+        init_threshold: float | None = None,
+        broadcast_every: int = 1,
+        max_cycles: int | None = None,
+    ) -> None:
+        self.problem = problem
+        self.n_pes = int(n_pes)
+        self.scheme = make_scheme(scheme) if isinstance(scheme, str) else scheme
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.init_threshold = init_threshold
+        self.broadcast_every = broadcast_every
+        self.max_cycles = max_cycles
+
+    def run(self) -> ParallelBnBResult:
+        workload = BnBWorkload(
+            self.problem, self.n_pes, broadcast_every=self.broadcast_every
+        )
+        machine = SimdMachine(self.n_pes, self.cost_model)
+        metrics = Scheduler(
+            workload,
+            machine,
+            self.scheme,
+            init_threshold=self.init_threshold,
+            max_cycles=self.max_cycles,
+        ).run()
+        return ParallelBnBResult(
+            best_value=workload.best_value,
+            total_expanded=workload.expanded,
+            incumbent_updates=workload.incumbent_updates,
+            metrics=metrics,
+        )

@@ -1,0 +1,318 @@
+"""SIMD-parallel depth-first search with real stacks.
+
+``SearchWorkload`` distributes a cost-bounded DFS over the simulated
+machine's PEs: every lock-step cycle, each non-empty PE pops one untried
+alternative, goal-tests it, and pushes its bound-pruned successors; work
+donation hands over the alternative at the bottom of a stack (Section 5's
+15-puzzle policy).  ``ParallelIDAStar`` wraps it in the iterative-
+deepening driver, sharing one machine ledger across iterations so the
+reported efficiency covers the whole run.
+
+Because each iteration runs its bound to exhaustion (all solutions up to
+the bound are collected), the number of nodes expanded is *identical* to
+serial IDA*'s — the paper's anomaly-free setup, asserted by the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Scheme, make_scheme
+from repro.core.metrics import RunMetrics
+from repro.core.scheduler import Scheduler
+from repro.search.problem import SearchProblem
+from repro.search.stack import DFSStack, StackEntry
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+
+__all__ = [
+    "SearchWorkload",
+    "ParallelIDAStar",
+    "ParallelSearchResult",
+    "parallel_depth_bounded",
+]
+
+
+class SearchWorkload:
+    """A cost-bounded DFS over real per-PE stacks (Workload protocol).
+
+    Parameters
+    ----------
+    problem:
+        The tree-search problem.
+    bound:
+        IDA* cost bound: only nodes with ``f = g + h <= bound`` enter
+        stacks.
+    n_pes:
+        ``P``.
+    split:
+        Donation policy — ``"bottom"`` (paper's choice: the alternative
+        nearest the root) or ``"half"`` (ablation: half the alternatives).
+    first_solution_only:
+        Stop at the cycle boundary after any PE finds a goal — the mode
+        with speedup anomalies (Rao & Kumar [33]).  The paper's
+        experiments keep this off; the anomaly benchmark turns it on.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        bound: int,
+        n_pes: int,
+        *,
+        split: str = "bottom",
+        first_solution_only: bool = False,
+    ) -> None:
+        if split not in ("bottom", "half"):
+            raise ValueError(f"split must be 'bottom' or 'half', got {split!r}")
+        self.problem = problem
+        self.bound = bound
+        self.n_pes = int(n_pes)
+        self.split = split
+        self.first_solution_only = first_solution_only
+
+        self.stacks = [DFSStack() for _ in range(self.n_pes)]
+        root = problem.initial_state()
+        if problem.heuristic(root) <= bound:
+            self.stacks[0] = DFSStack([StackEntry(root, 0)])
+
+        self.expanded = 0
+        self.solutions = 0
+        self.goal_depths: list[int] = []
+        self.next_bound: int | None = None
+
+    # -- Workload protocol ------------------------------------------------
+
+    def _counts(self) -> np.ndarray:
+        return np.fromiter(
+            (s.node_count() for s in self.stacks), dtype=np.int64, count=self.n_pes
+        )
+
+    def expanding_mask(self) -> np.ndarray:
+        return self._counts() > 0
+
+    def busy_mask(self) -> np.ndarray:
+        return self._counts() >= 2
+
+    def idle_mask(self) -> np.ndarray:
+        return self._counts() == 0
+
+    def expand_cycle(self) -> int:
+        n = 0
+        problem = self.problem
+        bound = self.bound
+        for stack in self.stacks:
+            entry = stack.pop_next()
+            if entry is None:
+                continue
+            n += 1
+            self.expanded += 1
+            state, g = entry.state, entry.g
+            if problem.is_goal(state):
+                self.solutions += 1
+                self.goal_depths.append(g)
+                continue
+            level: list[StackEntry] = []
+            for child in problem.expand(state):
+                f = g + 1 + problem.heuristic(child)
+                if f <= bound:
+                    level.append(StackEntry(child, g + 1))
+                elif self.next_bound is None or f < self.next_bound:
+                    self.next_bound = f
+            # Reverse so pop_next() (which pops from the tail) visits the
+            # children in the problem's generation order — same as serial.
+            level.reverse()
+            stack.push_level(level)
+        return n
+
+    def transfer(self, donors: np.ndarray, receivers: np.ndarray) -> int:
+        donors = np.asarray(donors, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if donors.shape != receivers.shape:
+            raise ValueError("donors and receivers must pair one-to-one")
+        moved = 0
+        for d, r in zip(donors.tolist(), receivers.tolist()):
+            donor = self.stacks[d]
+            if not donor.can_split() or not self.stacks[r].is_empty():
+                continue
+            if self.split == "bottom":
+                entry = donor.split_bottom()
+                assert entry is not None
+                self.stacks[r] = DFSStack([entry])
+            else:
+                donated = donor.split_half()
+                if not donated:
+                    continue
+                receiver = DFSStack()
+                # Rebuild levels shallow-to-deep so the receiver's DFS
+                # continues in depth order; entries donated from the same
+                # level stay siblings.
+                for entry in sorted(donated, key=lambda e: e.g):
+                    receiver.push_level([entry])
+                self.stacks[r] = receiver
+            moved += 1
+        return moved
+
+    def done(self) -> bool:
+        # Goal detection happens at cycle boundaries — all PEs finish the
+        # lock-step cycle before the global OR of goal flags is read.
+        if self.first_solution_only and self.solutions > 0:
+            return True
+        return all(s.is_empty() for s in self.stacks)
+
+    def total_expanded(self) -> int:
+        return self.expanded
+
+
+def parallel_depth_bounded(
+    problem: SearchProblem,
+    bound: int,
+    n_pes: int,
+    scheme: Scheme | str,
+    *,
+    cost_model: CostModel | None = None,
+    init_threshold: float | None = None,
+    split: str = "bottom",
+    trace: bool = False,
+    first_solution_only: bool = False,
+) -> tuple[SearchWorkload, RunMetrics]:
+    """One cost-bounded parallel DFS pass (no iterative deepening).
+
+    The single-iteration analogue of
+    :func:`repro.search.serial.depth_bounded_dfs` — the right driver for
+    problems without a heuristic (synthetic trees, exhaustive
+    enumeration), where IDA* would re-expand the tree once per unit of
+    bound.  Returns the exhausted workload (holding ``expanded``,
+    ``solutions``, ``next_bound``) and the run metrics.
+    """
+    machine = SimdMachine(n_pes, cost_model if cost_model is not None else CostModel())
+    workload = SearchWorkload(
+        problem, bound, n_pes, split=split, first_solution_only=first_solution_only
+    )
+    metrics = Scheduler(
+        workload, machine, scheme, init_threshold=init_threshold, trace=trace
+    ).run()
+    return workload, metrics
+
+
+@dataclass(frozen=True)
+class ParallelSearchResult:
+    """Outcome of a parallel IDA* run.
+
+    ``total_expanded`` is the parallel ``W``; ``per_iteration_expanded``
+    lets tests compare each iteration against serial IDA* exactly.
+    """
+
+    solution_cost: int | None
+    solutions: int
+    total_expanded: int
+    bounds: tuple[int, ...]
+    per_iteration_expanded: tuple[int, ...]
+    metrics: RunMetrics
+
+
+class ParallelIDAStar:
+    """Iterative-deepening driver over :class:`SearchWorkload`.
+
+    One :class:`~repro.simd.machine.SimdMachine` ledger spans all
+    iterations, so the final metrics describe the entire search exactly as
+    the paper's tables do.
+
+    Parameters
+    ----------
+    problem, n_pes:
+        What to search and with how many PEs.
+    scheme:
+        Load-balancing scheme (spec string or :class:`Scheme`).
+    cost_model:
+        Machine cost model; defaults to CM-2 constants.
+    init_threshold:
+        Initial-distribution threshold (Section 7 uses 0.85 for dynamic
+        triggers); ``None`` skips the initialization phase.
+    split:
+        Stack donation policy, forwarded to the workload.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        n_pes: int,
+        scheme: Scheme | str,
+        *,
+        cost_model: CostModel | None = None,
+        init_threshold: float | None = None,
+        split: str = "bottom",
+        max_iterations: int = 100,
+    ) -> None:
+        self.problem = problem
+        self.n_pes = int(n_pes)
+        self.scheme = make_scheme(scheme) if isinstance(scheme, str) else scheme
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.init_threshold = init_threshold
+        self.split = split
+        self.max_iterations = max_iterations
+
+    def run(self) -> ParallelSearchResult:
+        machine = SimdMachine(self.n_pes, self.cost_model)
+        bound = self.problem.heuristic(self.problem.initial_state())
+        bounds: list[int] = []
+        per_iter: list[int] = []
+        last_metrics: RunMetrics | None = None
+
+        for _ in range(self.max_iterations):
+            workload = SearchWorkload(
+                self.problem, bound, self.n_pes, split=self.split
+            )
+            scheduler = Scheduler(
+                workload,
+                machine,
+                self.scheme,
+                init_threshold=self.init_threshold,
+            )
+            last_metrics = scheduler.run()
+            bounds.append(bound)
+            per_iter.append(workload.expanded)
+
+            if workload.solutions > 0:
+                cost = min(workload.goal_depths)
+                return ParallelSearchResult(
+                    solution_cost=cost,
+                    solutions=workload.solutions,
+                    total_expanded=sum(per_iter),
+                    bounds=tuple(bounds),
+                    per_iteration_expanded=tuple(per_iter),
+                    metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+                )
+            if workload.next_bound is None:
+                return ParallelSearchResult(
+                    solution_cost=None,
+                    solutions=0,
+                    total_expanded=sum(per_iter),
+                    bounds=tuple(bounds),
+                    per_iteration_expanded=tuple(per_iter),
+                    metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+                )
+            bound = workload.next_bound
+
+        raise RuntimeError(
+            f"parallel IDA* did not converge within {self.max_iterations} iterations"
+        )
+
+    def _final_metrics(
+        self, machine: SimdMachine, total_work: int, last: RunMetrics | None
+    ) -> RunMetrics:
+        assert last is not None
+        return RunMetrics(
+            scheme=last.scheme,
+            n_pes=self.n_pes,
+            total_work=total_work,
+            n_expand=machine.n_cycles,
+            n_lb=machine.n_lb_phases,
+            n_transfers=machine.n_transfers,
+            n_init_lb=last.n_init_lb,
+            ledger=machine.ledger,
+            trace=None,
+        )

@@ -1,0 +1,90 @@
+"""Global reduction primitives of the SIMD machine.
+
+The machine's other collective: combine one value per PE into a single
+result broadcast everywhere.  Tree search uses reductions constantly —
+the busy count feeding the triggers, the OR of goal flags ending a
+first-solution search, the MIN of pruned ``f`` values that becomes
+IDA*'s next bound, and the MAX/MIN incumbent merge of branch-and-bound.
+
+As with scans, two implementations: the production numpy shortcut and a
+faithful ``log P``-level binary-tree simulation (``method="tree"``)
+that tests verify against it.  Reductions cost one
+:meth:`~repro.simd.cost.CostModel.scan_time` on the machine; the
+scheduler folds that into the cycle cost exactly as the paper folds
+trigger evaluation into its 30 ms node-expansion cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reduce_array", "REDUCE_OPS"]
+
+#: Supported operations: name -> (numpy ufunc, identity).
+REDUCE_OPS: dict[str, tuple[np.ufunc, float]] = {
+    "sum": (np.add, 0),
+    "min": (np.minimum, np.inf),
+    "max": (np.maximum, -np.inf),
+    "any": (np.logical_or, False),
+    "all": (np.logical_and, True),
+}
+
+
+def _tree_reduce(values: np.ndarray, op: np.ufunc) -> np.ndarray:
+    """Binary-tree combine: ``ceil(log2 P)`` vectorized levels."""
+    current = values
+    while len(current) > 1:
+        half = (len(current) + 1) // 2
+        left = current[:half]
+        right = current[half:]
+        combined = left.copy()
+        combined[: len(right)] = op(left[: len(right)], right)
+        current = combined
+    return current
+
+
+def reduce_array(
+    values: np.ndarray,
+    op: str,
+    *,
+    method: str = "numpy",
+):
+    """Reduce one value per PE to a single broadcast result.
+
+    Parameters
+    ----------
+    values:
+        1-D array, one element per processor (non-empty).
+    op:
+        One of ``"sum"``, ``"min"``, ``"max"``, ``"any"``, ``"all"``.
+    method:
+        ``"numpy"`` (shortcut) or ``"tree"`` (hardware simulation).
+
+    Returns
+    -------
+    The scalar reduction, as a python ``int``/``float``/``bool``.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"reduce_array expects a 1-D array, got shape {values.shape}")
+    if len(values) == 0:
+        raise ValueError("reduce_array requires at least one element")
+    if op not in REDUCE_OPS:
+        raise ValueError(f"op must be one of {sorted(REDUCE_OPS)}, got {op!r}")
+    ufunc, _ = REDUCE_OPS[op]
+
+    if op in ("any", "all"):
+        values = values.astype(bool)
+
+    if method == "numpy":
+        result = ufunc.reduce(values)
+    elif method == "tree":
+        result = _tree_reduce(values.copy(), ufunc)[0]
+    else:
+        raise ValueError(f"unknown reduce method {method!r}")
+
+    if op in ("any", "all"):
+        return bool(result)
+    if np.issubdtype(np.asarray(result).dtype, np.integer):
+        return int(result)
+    return float(result)

@@ -1,0 +1,135 @@
+"""Hypercube permutation routing (the substrate behind footnote 4).
+
+The paper prices a work-transfer round as a *general permutation*:
+``O(log^2 P)`` on a hypercube with dimension-ordered (e-cube) routing,
+possibly ``O(log P)`` for favourable permutations/networks.  This
+module simulates that router so the constant isn't folklore:
+
+- messages travel dimension by dimension (correct bit 0 first);
+- each directed link carries one message per step; conflicting messages
+  queue (FIFO per link);
+- :func:`route_permutation` reports the number of steps a full
+  permutation needs.
+
+Tests confirm the analytic envelope: identity = 0 steps, single
+far-corner message = log P steps, random permutations land between
+log P and O(log^2 P), and the known-bad bit-reversal permutation is
+worse than random — the classical router behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["RouteResult", "route_permutation", "ecube_path"]
+
+
+def _check_power_of_two(n_pes: int) -> int:
+    check_positive_int(n_pes, "n_pes")
+    if n_pes & (n_pes - 1):
+        raise ValueError(f"hypercube size must be a power of two, got {n_pes}")
+    return n_pes
+
+
+def ecube_path(src: int, dst: int, n_pes: int) -> list[int]:
+    """Nodes visited by dimension-ordered routing from ``src`` to ``dst``.
+
+    Corrects differing address bits lowest dimension first; the path
+    length is the Hamming distance.
+    """
+    _check_power_of_two(n_pes)
+    if not (0 <= src < n_pes and 0 <= dst < n_pes):
+        raise ValueError(f"src/dst must be in [0, {n_pes}), got {src}, {dst}")
+    path = [src]
+    current = src
+    diff = src ^ dst
+    dim = 0
+    while diff:
+        if diff & 1:
+            current ^= 1 << dim
+            path.append(current)
+        diff >>= 1
+        dim += 1
+    return path
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one permutation.
+
+    Attributes
+    ----------
+    steps:
+        Machine cycles until the last message arrived (0 for identity).
+    total_hops:
+        Sum of Hamming distances — the congestion-free lower bound on
+        link usage.
+    max_link_load:
+        Most messages that crossed any single directed link; > 1 means
+        the permutation had conflicts.
+    """
+
+    steps: int
+    total_hops: int
+    max_link_load: int
+
+
+def route_permutation(destinations: np.ndarray, *, max_steps: int | None = None) -> RouteResult:
+    """Deliver one message per PE to ``destinations`` by e-cube routing.
+
+    ``destinations`` must be a permutation of ``0..P-1`` (P a power of
+    two).  One message per directed link per step; blocked messages wait
+    in FIFO order.  Returns the step count and congestion statistics.
+    """
+    destinations = np.asarray(destinations, dtype=np.int64)
+    n_pes = _check_power_of_two(len(destinations))
+    if not np.array_equal(np.sort(destinations), np.arange(n_pes)):
+        raise ValueError("destinations must be a permutation of 0..P-1")
+    if max_steps is None:
+        # Worst-case e-cube on a permutation is O(sqrt P) steps for
+        # adversarial patterns; this cap only guards against bugs.
+        max_steps = 16 * n_pes
+
+    # Precompute each message's remaining path (list of next-hop nodes).
+    paths = {
+        src: deque(ecube_path(src, int(dst), n_pes)[1:])
+        for src, dst in enumerate(destinations)
+        if src != dst
+    }
+    total_hops = sum(len(p) for p in paths.values())
+    if not paths:
+        return RouteResult(steps=0, total_hops=0, max_link_load=0)
+
+    # position of each in-flight message.
+    position = {msg: msg for msg in paths}
+    # FIFO arbitration state: messages maintain their id order per link.
+    link_use: dict[tuple[int, int], int] = {}
+    steps = 0
+    while paths:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(f"router exceeded max_steps={max_steps}")
+        requested: dict[tuple[int, int], int] = {}
+        # Older messages (smaller id) win ties — any fixed arbitration
+        # works; FIFO per link emerges from re-requesting next step.
+        for msg in sorted(paths):
+            here = position[msg]
+            nxt = paths[msg][0]
+            link = (here, nxt)
+            if link not in requested:
+                requested[link] = msg
+        for (here, nxt), msg in requested.items():
+            link_use[(here, nxt)] = link_use.get((here, nxt), 0) + 1
+            position[msg] = nxt
+            paths[msg].popleft()
+            if not paths[msg]:
+                del paths[msg]
+                del position[msg]
+
+    max_load = max(link_use.values(), default=0)
+    return RouteResult(steps=steps, total_hops=total_hops, max_link_load=max_load)

@@ -1,0 +1,115 @@
+"""Interconnect cost models (Section 3.3 of the paper).
+
+The paper analyzes three architectures:
+
+- **CM-2**: hardware-assisted scans and a router whose permutation cost is,
+  in practice, a large constant independent of P (up to the 64K-PE maximum
+  configuration) — so ``t_lb = O(1)``.
+- **Hypercube**: sum-scan ``O(log P)``; a general fixed-size permutation
+  ``O(log^2 P)``.
+- **Mesh**: both ``O(sqrt P)``.
+
+A topology converts a processor count into *scan time* and *transfer time*
+in seconds, given per-hop constants.  The defaults are calibrated so that a
+CM-2 load-balancing phase costs 13 ms against a 30 ms node-expansion cycle,
+the measured ratio of Section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["Topology", "CM2Topology", "HypercubeTopology", "MeshTopology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base interconnect model.
+
+    Subclasses override :meth:`scan_time` and :meth:`transfer_time`; both
+    return seconds for a machine of ``n_pes`` processors.
+    """
+
+    name: str = "abstract"
+
+    def scan_time(self, n_pes: int) -> float:
+        """Time for one sum-scan across ``n_pes`` processors."""
+        raise NotImplementedError
+
+    def transfer_time(self, n_pes: int) -> float:
+        """Time for one fixed-size permutation (work-transfer round)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(n_pes: int) -> int:
+        return check_positive_int(n_pes, "n_pes")
+
+
+@dataclass(frozen=True)
+class CM2Topology(Topology):
+    """CM-2 model: constant scan and transfer costs (Section 3.3).
+
+    ``scan_cost`` is "a lot smaller" than ``transfer_cost`` on the real
+    machine; defaults make the full LB phase (3 scans + 1 transfer) 13 ms.
+    """
+
+    name: str = "cm2"
+    scan_cost: float = 0.001
+    transfer_cost: float = 0.010
+
+    def __post_init__(self) -> None:
+        check_positive(self.scan_cost, "scan_cost")
+        check_positive(self.transfer_cost, "transfer_cost")
+
+    def scan_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.scan_cost
+
+    def transfer_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.transfer_cost
+
+
+@dataclass(frozen=True)
+class HypercubeTopology(Topology):
+    """Hypercube model: scan ``O(log P)``, permutation ``O(log^2 P)``."""
+
+    name: str = "hypercube"
+    scan_hop_cost: float = 1.0e-4
+    transfer_hop_cost: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        check_positive(self.scan_hop_cost, "scan_hop_cost")
+        check_positive(self.transfer_hop_cost, "transfer_hop_cost")
+
+    def scan_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.scan_hop_cost * max(1.0, math.log2(n_pes))
+
+    def transfer_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.transfer_hop_cost * max(1.0, math.log2(n_pes)) ** 2
+
+
+@dataclass(frozen=True)
+class MeshTopology(Topology):
+    """2-D mesh model: scan and permutation both ``O(sqrt P)``."""
+
+    name: str = "mesh"
+    scan_hop_cost: float = 1.0e-4
+    transfer_hop_cost: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        check_positive(self.scan_hop_cost, "scan_hop_cost")
+        check_positive(self.transfer_hop_cost, "transfer_hop_cost")
+
+    def scan_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.scan_hop_cost * math.sqrt(n_pes)
+
+    def transfer_time(self, n_pes: int) -> float:
+        self._check(n_pes)
+        return self.transfer_hop_cost * math.sqrt(n_pes)

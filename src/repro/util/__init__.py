@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG handling, validation helpers, table rendering."""
+
+from repro.util.rng import as_generator, spawn_child
+from repro.util.validation import check_probability, check_positive, check_positive_int
+from repro.util.tables import format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_child",
+    "check_probability",
+    "check_positive",
+    "check_positive_int",
+    "format_table",
+]

@@ -1,0 +1,104 @@
+"""Terminal scatter/line plots for the figure artifacts.
+
+Every paper figure the harness regenerates is a set of (x, y) series;
+this renderer draws them on a character grid with axes and a legend —
+enough to *see* the Figure 4/7 isoefficiency fans or the Figure 8
+activity traces in a text file, no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+#: Per-series markers, cycled in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scaled axes require positive values")
+        return math.log10(value)
+    return value
+
+
+def _axis_range(values: Sequence[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        pad = abs(lo) * 0.5 + 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render named point series on a character grid.
+
+    Parameters
+    ----------
+    series:
+        Label -> list of (x, y).  Empty series are skipped.
+    width, height:
+        Plot area size in characters (axes and legend are extra).
+    logx, logy:
+        Log-scale an axis (all values on it must be positive).
+    """
+    populated = {k: v for k, v in series.items() if v}
+    if not populated:
+        raise ValueError("ascii_plot needs at least one non-empty series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area must be at least 8x4")
+
+    xs = [_transform(x, logx) for pts in populated.values() for x, _ in pts]
+    ys = [_transform(y, logy) for pts in populated.values() for _, y in pts]
+    x_lo, x_hi = _axis_range(xs)
+    y_lo, y_hi = _axis_range(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, pts) in enumerate(populated.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in pts:
+            tx = _transform(x, logx)
+            ty = _transform(y, logy)
+            col = round((tx - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_lab, y_lo_lab = fmt(y_hi, logy), fmt(y_lo, logy)
+    gutter = max(len(y_hi_lab), len(y_lo_lab))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_lab.rjust(gutter)
+        elif r == height - 1:
+            label = y_lo_lab.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_lo_lab, x_hi_lab = fmt(x_lo, logx), fmt(x_hi, logx)
+    pad = width - len(x_lo_lab) - len(x_hi_lab)
+    lines.append(" " * (gutter + 2) + x_lo_lab + " " * max(1, pad) + x_hi_lab)
+    lines.append(f"{' ' * (gutter + 2)}x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}" for i, label in enumerate(populated)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints tables in the same row/column layout the paper
+uses; this module owns the formatting so every table looks consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec is None or isinstance(value, str):
+        return str(value)
+    return format(value, spec)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    formats: Sequence[str | None] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row tuples; ``None`` cells render as ``-``.
+    formats:
+        Optional per-column format specs (e.g. ``".2f"``) applied to
+        non-string cells.
+    title:
+        Optional heading line printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    if formats is None:
+        formats = [None] * len(headers)
+    if len(formats) != len(headers):
+        raise ValueError("formats length must match headers length")
+
+    rendered = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        rendered.append([_cell(v, f) for v, f in zip(row, formats)])
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,83 @@
+"""Scripted active-processor decay profiles (Figure 5).
+
+The paper's Section 6.1 argues geometrically: D_P performs well when the
+active-processor count W(t) decays gradually (Figure 5a) and can trigger
+arbitrarily late — or never — when it collapses early to a long low tail
+(Figure 5b).  These generators produce the two shapes; feeding them
+through :func:`trigger_fire_cycle` reports *when* each triggering scheme
+would fire, which the Figure 5/6 benchmarks tabulate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.triggering import Trigger, TriggerState
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["gradual_profile", "cliff_profile", "trigger_fire_cycle"]
+
+
+def gradual_profile(n_pes: int, n_cycles: int, *, floor: int = 1) -> np.ndarray:
+    """Figure 5a: active count decays smoothly (concave) from P to ``floor``.
+
+    Models a well-balanced phase where processors exhaust their pieces at
+    staggered times.
+    """
+    check_positive_int(n_pes, "n_pes")
+    check_positive_int(n_cycles, "n_cycles")
+    t = np.linspace(0.0, 1.0, n_cycles)
+    active = n_pes * (1.0 - t**2)
+    return np.maximum(np.rint(active).astype(np.int64), floor)
+
+
+def cliff_profile(
+    n_pes: int,
+    n_cycles: int,
+    *,
+    cliff_at: float = 0.1,
+    tail_active: int = 1,
+) -> np.ndarray:
+    """Figure 5b: active count collapses at ``cliff_at`` to a long tail.
+
+    Models a badly skewed distribution: nearly all PEs received tiny
+    pieces that die out quickly while ``tail_active`` processors grind on.
+    """
+    check_positive_int(n_pes, "n_pes")
+    check_positive_int(n_cycles, "n_cycles")
+    if not 0.0 < cliff_at < 1.0:
+        raise ValueError(f"cliff_at must be in (0, 1), got {cliff_at}")
+    if not 1 <= tail_active <= n_pes:
+        raise ValueError(f"tail_active must be in [1, {n_pes}], got {tail_active}")
+    cliff = max(1, int(round(cliff_at * n_cycles)))
+    active = np.full(n_cycles, tail_active, dtype=np.int64)
+    # Steep linear fall from P to the tail level during the cliff.
+    active[:cliff] = np.rint(
+        np.linspace(n_pes, tail_active, cliff, endpoint=False)
+    ).astype(np.int64)
+    return active
+
+
+def trigger_fire_cycle(
+    trigger: Trigger,
+    active_profile: np.ndarray,
+    *,
+    u_calc: float = 0.030,
+) -> int | None:
+    """First cycle index at which ``trigger`` fires on the given profile.
+
+    The profile value serves as both the busy count and the expanding
+    count (the distinction vanishes in the scripted model).  Returns
+    ``None`` if the trigger never fires — the D_P pathology of
+    Section 6.1, observation 3.
+    """
+    check_positive(u_calc, "u_calc")
+    profile = np.asarray(active_profile, dtype=np.int64)
+    n_pes = int(profile[0])
+    trigger.reset()
+    trigger.start_phase()
+    for i, a in enumerate(profile.tolist()):
+        state = TriggerState(busy=int(a), expanding=int(a), n_pes=n_pes, dt=u_calc)
+        if trigger.after_cycle(state):
+            return i
+    return None

@@ -1,0 +1,144 @@
+"""Stack-structured synthetic workload (mid-fidelity model).
+
+Each PE holds a DFS stack of *pending subtree sizes*.  Expanding the top
+entry consumes its root node and pushes the child subtrees, whose sizes
+are drawn by recursive stick-breaking — producing the highly irregular
+trees the paper targets.  Donation removes the entry at the **bottom** of
+the stack (nearest the root), exactly the 15-puzzle policy of Section 5.
+
+Unlike :class:`~repro.workmodel.divisible.DivisibleWorkload`, splittability
+here depends on stack *composition*: a PE whose stack holds one huge
+subtree is not busy (cannot split) even though it has lots of work — the
+situation that makes D_P fail (Section 6.1, observation 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["StackWorkload"]
+
+
+class StackWorkload:
+    """Per-PE stacks of pending subtree sizes with stick-breaking growth.
+
+    Parameters
+    ----------
+    total_work:
+        ``W`` — total nodes in the synthetic tree.
+    n_pes:
+        ``P``.
+    max_branching:
+        Maximum children per expanded node.
+    leaf_probability:
+        Chance that an expansion of a subtree yields a single child chain
+        step instead of a fan-out — raises depth/irregularity.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        total_work: int,
+        n_pes: int,
+        *,
+        max_branching: int = 4,
+        leaf_probability: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.total_work = check_positive_int(total_work, "total_work")
+        self.n_pes = check_positive_int(n_pes, "n_pes")
+        self.max_branching = check_positive_int(max_branching, "max_branching")
+        if not 0.0 <= leaf_probability < 1.0:
+            raise ValueError(
+                f"leaf_probability must be in [0, 1), got {leaf_probability}"
+            )
+        self.leaf_probability = leaf_probability
+        self.rng = as_generator(rng)
+
+        # stacks[p] is a list of pending subtree sizes; the root subtree
+        # (the whole tree) starts on PE 0.
+        self.stacks: list[list[int]] = [[] for _ in range(n_pes)]
+        self.stacks[0].append(total_work)
+        self._expanded = 0
+
+    # -- tree growth -------------------------------------------------------
+
+    def _children_of(self, size: int) -> list[int]:
+        """Partition ``size - 1`` remaining nodes into child subtrees."""
+        rest = size - 1
+        if rest <= 0:
+            return []
+        if self.leaf_probability and self.rng.random() < self.leaf_probability:
+            return [rest]
+        b = int(self.rng.integers(1, self.max_branching + 1))
+        b = min(b, rest)
+        if b == 1:
+            return [rest]
+        weights = self.rng.dirichlet(np.ones(b))
+        parts = self.rng.multinomial(rest, weights)
+        return [int(c) for c in parts if c > 0]
+
+    # -- Workload protocol ------------------------------------------------
+
+    def _counts(self) -> np.ndarray:
+        return np.fromiter(
+            (len(s) for s in self.stacks), dtype=np.int64, count=self.n_pes
+        )
+
+    def expanding_mask(self) -> np.ndarray:
+        return self._counts() > 0
+
+    def busy_mask(self) -> np.ndarray:
+        """Busy = at least two stack nodes (Section 2): one to keep
+        expanding, one to give away."""
+        return self._counts() >= 2
+
+    def idle_mask(self) -> np.ndarray:
+        return self._counts() == 0
+
+    def expand_cycle(self) -> int:
+        n = 0
+        for stack in self.stacks:
+            if not stack:
+                continue
+            size = stack.pop()
+            self._expanded += 1
+            n += 1
+            children = self._children_of(size)
+            stack.extend(children)
+        return n
+
+    def transfer(self, donors: np.ndarray, receivers: np.ndarray) -> int:
+        donors = np.asarray(donors, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if donors.shape != receivers.shape:
+            raise ValueError("donors and receivers must pair one-to-one")
+        moved = 0
+        for d, r in zip(donors.tolist(), receivers.tolist()):
+            stack = self.stacks[d]
+            if len(stack) < 2 or self.stacks[r]:
+                continue
+            # Donate the node at the bottom of the stack (nearest the root
+            # — typically the largest pending subtree).
+            self.stacks[r].append(stack.pop(0))
+            moved += 1
+        return moved
+
+    def done(self) -> bool:
+        return self._expanded >= self.total_work
+
+    def total_expanded(self) -> int:
+        return self._expanded
+
+    # -- Introspection -----------------------------------------------------
+
+    def total_remaining(self) -> int:
+        return sum(sum(s) for s in self.stacks)
+
+    def check_conservation(self) -> bool:
+        """Expanded + pending subtree sizes == W at all times."""
+        return self._expanded + self.total_remaining() == self.total_work

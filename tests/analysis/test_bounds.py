@@ -1,0 +1,103 @@
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    dk_overhead_within_bound,
+    transfers_upper_bound,
+    v_bound_gp,
+    v_bound_ngp,
+    work_log,
+)
+from repro.core.metrics import RunMetrics
+from repro.simd.machine import TimeLedger
+
+
+def metrics_with_overhead(idle, lb):
+    return RunMetrics(
+        scheme="x",
+        n_pes=8,
+        total_work=100,
+        n_expand=1,
+        n_lb=1,
+        n_transfers=1,
+        n_init_lb=0,
+        ledger=TimeLedger(t_calc=10.0, t_idle=idle, t_lb=lb, elapsed=1.0),
+    )
+
+
+class TestWorkLog:
+    def test_half_split_is_log2(self):
+        assert work_log(1024, 0.5) == pytest.approx(10.0)
+
+    def test_natural_log_base(self):
+        alpha = 1 - 1 / math.e
+        assert work_log(math.e**5, alpha) == pytest.approx(5.0)
+
+    def test_worse_alpha_more_levels(self):
+        assert work_log(10**6, 0.1) > work_log(10**6, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work_log(0, 0.5)
+        with pytest.raises(ValueError):
+            work_log(100, 0.0)
+        with pytest.raises(ValueError):
+            work_log(100, 1.0)
+
+
+class TestVBoundGP:
+    @pytest.mark.parametrize("x,expected", [(0.5, 2), (0.75, 4), (0.9, 10), (0.0, 1)])
+    def test_values(self, x, expected):
+        assert v_bound_gp(x) == expected
+
+    def test_rejects_x_one(self):
+        with pytest.raises(ValueError):
+            v_bound_gp(1.0)
+
+
+class TestVBoundNGP:
+    def test_one_below_half(self):
+        assert v_bound_ngp(0.5, 10**6) == 1.0
+        assert v_bound_ngp(0.3, 10**6) == 1.0
+
+    def test_grows_with_x(self):
+        w = 10**6
+        assert v_bound_ngp(0.9, w) > v_bound_ngp(0.8, w) > v_bound_ngp(0.7, w)
+
+    def test_exponent_formula(self):
+        # x=0.75: (2x-1)/(1-x) = 2.
+        w = 10**6
+        assert v_bound_ngp(0.75, w, alpha=0.5) == pytest.approx(
+            work_log(w, 0.5) ** 2
+        )
+
+    def test_much_larger_than_gp_at_high_x(self):
+        assert v_bound_ngp(0.9, 16_110_463) > 100 * v_bound_gp(0.9)
+
+
+class TestTransfersUpperBound:
+    def test_formula(self):
+        assert transfers_upper_bound(4, 1024, alpha=0.5) == pytest.approx(40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfers_upper_bound(0, 100, alpha=0.5)
+
+
+class TestDKOverheadBound:
+    def test_within_bound(self):
+        dk = metrics_with_overhead(idle=5.0, lb=5.0)
+        st = metrics_with_overhead(idle=4.0, lb=2.0)
+        assert dk_overhead_within_bound(dk, st)
+
+    def test_violation_detected(self):
+        dk = metrics_with_overhead(idle=20.0, lb=20.0)
+        st = metrics_with_overhead(idle=4.0, lb=2.0)
+        assert not dk_overhead_within_bound(dk, st)
+
+    def test_slack_absorbs_discreteness(self):
+        dk = metrics_with_overhead(idle=13.0, lb=0.0)
+        st = metrics_with_overhead(idle=6.0, lb=0.0)
+        assert not dk_overhead_within_bound(dk, st)
+        assert dk_overhead_within_bound(dk, st, slack=2.0)

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.analysis.efficiency import (
+    predicted_efficiency_gp_static,
+    predicted_efficiency_ngp_static,
+)
+
+
+class TestPredictedEfficiency:
+    def test_bounded_by_x_plus_delta(self):
+        # Equation 9: E <= x + delta.
+        e = predicted_efficiency_gp_static(10**7, 256, 0.8)
+        assert e <= 0.8
+        e2 = predicted_efficiency_gp_static(10**7, 256, 0.8, delta=0.1)
+        assert e2 <= 0.9
+
+    def test_grows_with_work_at_fixed_p(self):
+        lo = predicted_efficiency_gp_static(10**5, 1024, 0.8)
+        hi = predicted_efficiency_gp_static(10**8, 1024, 0.8)
+        assert hi > lo
+
+    def test_falls_with_p_at_fixed_work(self):
+        lo = predicted_efficiency_gp_static(10**6, 8192, 0.8)
+        hi = predicted_efficiency_gp_static(10**6, 256, 0.8)
+        assert hi > lo
+
+    def test_gp_beats_ngp_at_high_x(self):
+        w, p = 16_110_463, 8192
+        assert predicted_efficiency_gp_static(w, p, 0.9) > (
+            predicted_efficiency_ngp_static(w, p, 0.9)
+        )
+
+    def test_schemes_agree_at_half(self):
+        # V(P) is ~1-2 for both at x = 0.5; efficiencies are within a
+        # factor reflecting GP's ceil(1/(1-x)) = 2 vs nGP's 1.
+        w, p = 10**6, 1024
+        gp = predicted_efficiency_gp_static(w, p, 0.5)
+        ngp = predicted_efficiency_ngp_static(w, p, 0.5)
+        assert ngp >= gp
+
+    def test_ngp_degrades_with_x(self):
+        w, p = 16_110_463, 8192
+        e80 = predicted_efficiency_ngp_static(w, p, 0.80)
+        e95 = predicted_efficiency_ngp_static(w, p, 0.95)
+        assert e95 < e80
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            predicted_efficiency_gp_static(100, 8, 0.8, delta=0.5)
+
+    def test_x_validation(self):
+        with pytest.raises(ValueError):
+            predicted_efficiency_gp_static(100, 8, 0.0)
+        with pytest.raises(ValueError):
+            predicted_efficiency_gp_static(100, 8, 1.0)

@@ -1,0 +1,97 @@
+import math
+
+import pytest
+
+from repro.analysis.isoefficiency import (
+    analytic_isoefficiency,
+    growth_exponent,
+    isoefficiency_points,
+    isoefficiency_table,
+)
+
+
+class TestAnalyticIsoefficiency:
+    def test_gp_cm2_is_p_log_p(self):
+        f, label = analytic_isoefficiency("GP", "cm2", x=0.9)
+        assert "O(P log P" in label
+        # f(2P) / f(P) ~ 2 * log(2P)/log(P).
+        ratio = f(2048) / f(1024)
+        assert ratio == pytest.approx(2 * 11 / 10, rel=0.01)
+
+    def test_gp_hypercube_cubic_log(self):
+        f, _ = analytic_isoefficiency("GP", "hypercube", x=0.9)
+        assert f(1024) / f(512) == pytest.approx(2 * (10 / 9) ** 3, rel=0.01)
+
+    def test_mesh_sqrt_factor(self):
+        f, _ = analytic_isoefficiency("GP", "mesh", x=0.9)
+        g, _ = analytic_isoefficiency("GP", "cm2", x=0.9)
+        assert f(4096) / g(4096) == pytest.approx(math.sqrt(4096))
+
+    def test_ngp_exceeds_gp(self):
+        ngp, _ = analytic_isoefficiency("nGP", "cm2", x=0.9, reference_work=10**7)
+        gp, _ = analytic_isoefficiency("GP", "cm2", x=0.9)
+        assert ngp(1024) > gp(1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_isoefficiency("GP", "torus")
+        with pytest.raises(ValueError):
+            analytic_isoefficiency("XX", "cm2")
+
+
+class TestIsoefficiencyTable:
+    def test_six_rows(self):
+        rows = isoefficiency_table()
+        assert len(rows) == 6
+        archs = {r[0] for r in rows}
+        assert archs == {"hypercube", "mesh", "cm2"}
+
+    def test_ngp_carries_extra_factor(self):
+        rows = {(r[0], r[1]): r[2] for r in isoefficiency_table(x=0.75)}
+        assert "log^{2} W" in rows[("cm2", "nGP-S^x")]
+        assert "W" not in rows[("cm2", "GP-S^x")]
+
+
+class TestIsoefficiencyPoints:
+    def test_interpolates_bracketing_pair(self):
+        records = [
+            (64, 1000.0, 0.5),
+            (64, 2000.0, 0.7),
+            (128, 1000.0, 0.4),
+            (128, 4000.0, 0.8),
+        ]
+        points = dict(isoefficiency_points(records, 0.6))
+        assert 1000.0 < points[64] < 2000.0
+        assert 1000.0 < points[128] < 4000.0
+
+    def test_unreachable_p_omitted(self):
+        records = [(64, 1000.0, 0.2), (64, 2000.0, 0.3)]
+        assert isoefficiency_points(records, 0.9) == []
+
+    def test_exact_hit(self):
+        records = [(64, 1000.0, 0.6), (64, 2000.0, 0.8)]
+        points = dict(isoefficiency_points(records, 0.6))
+        assert points[64] == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            isoefficiency_points([], 0.0)
+
+
+class TestGrowthExponent:
+    def test_recovers_plogp(self):
+        pts = [(p, 7.0 * p * math.log2(p)) for p in [64, 128, 256, 512, 1024]]
+        assert growth_exponent(pts, model="PlogP") == pytest.approx(1.0, abs=1e-9)
+
+    def test_detects_quadratic(self):
+        pts = [(p, float(p * p)) for p in [64, 128, 256, 512]]
+        assert growth_exponent(pts, model="PlogP") > 1.5
+        assert growth_exponent(pts, model="P2") == pytest.approx(1.0, abs=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([(64, 100.0)])
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            growth_exponent([(64, 1.0), (128, 2.0)], model="exp")

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.analysis.optimal_trigger import (
+    optimal_static_trigger,
+    predicted_optimal_efficiency,
+)
+
+
+class TestOptimalStaticTrigger:
+    @pytest.mark.parametrize(
+        "work,expected",
+        [
+            (941_852, 0.82),
+            (3_055_171, 0.89),
+            (6_073_623, 0.92),
+            (16_110_463, 0.95),
+        ],
+    )
+    def test_reproduces_table2_column(self, work, expected):
+        # The paper's Table 2 analytic-trigger column at P=8192 with the
+        # CM-2 constants (t_lb/U_calc = 13/30).
+        x_o = optimal_static_trigger(work, 8192)
+        assert x_o == pytest.approx(expected, abs=0.01)
+
+    def test_grows_with_work(self):
+        a = optimal_static_trigger(10**5, 1024)
+        b = optimal_static_trigger(10**7, 1024)
+        assert b > a
+
+    def test_falls_with_pes(self):
+        a = optimal_static_trigger(10**6, 256)
+        b = optimal_static_trigger(10**6, 8192)
+        assert b < a
+
+    def test_falls_with_lb_cost(self):
+        a = optimal_static_trigger(10**6, 1024, t_lb=0.013)
+        b = optimal_static_trigger(10**6, 1024, t_lb=0.13)
+        assert b < a
+
+    def test_falls_with_worse_splitter(self):
+        a = optimal_static_trigger(10**6, 1024, alpha=0.5)
+        b = optimal_static_trigger(10**6, 1024, alpha=0.05)
+        assert b < a
+
+    def test_in_unit_interval(self):
+        assert 0.0 < optimal_static_trigger(100, 10**6) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_static_trigger(0, 8)
+        with pytest.raises(ValueError):
+            optimal_static_trigger(100, 8, u_calc=0.0)
+
+
+class TestPredictedOptimalEfficiency:
+    def test_bounded_by_xo(self):
+        # Equation 9: E <= x + delta; with delta = 0, E(x_o) < x_o.
+        work, pes = 10**6, 1024
+        x_o = optimal_static_trigger(work, pes)
+        e = predicted_optimal_efficiency(work, pes)
+        assert 0 < e < x_o
+
+    def test_is_the_maximum_over_x(self):
+        work, pes = 10**6, 2048
+        from repro.analysis.efficiency import predicted_efficiency_gp_static
+
+        e_opt = predicted_optimal_efficiency(work, pes)
+        for x in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99]:
+            assert predicted_efficiency_gp_static(work, pes, x) <= e_opt + 1e-9
+
+    def test_grows_with_work(self):
+        assert predicted_optimal_efficiency(10**7, 1024) > predicted_optimal_efficiency(
+            10**5, 1024
+        )

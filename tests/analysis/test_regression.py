@@ -1,0 +1,65 @@
+import math
+
+import pytest
+
+from repro.analysis.regression import (
+    CANDIDATE_MODELS,
+    ScalingFit,
+    fit_model,
+    select_model,
+)
+
+
+def curve(f, pes=(64, 128, 256, 512, 1024), c=5.0):
+    return [(p, c * f(p)) for p in pes]
+
+
+class TestFitModel:
+    def test_exact_model_recovers_exponent_one(self):
+        pts = curve(CANDIDATE_MODELS["PlogP"])
+        fit = fit_model(pts, "PlogP")
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict_round_trips(self):
+        pts = curve(CANDIDATE_MODELS["P"])
+        fit = fit_model(pts, "P")
+        assert fit.predict(256) == pytest.approx(5.0 * 256)
+
+    def test_wrong_model_exponent_off(self):
+        pts = curve(CANDIDATE_MODELS["P2"])
+        fit = fit_model(pts, "P")
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_model([(64, 1.0)], "P")
+        with pytest.raises(ValueError):
+            fit_model([(64, 1.0), (128, 2.0)], "exp")
+
+
+class TestSelectModel:
+    @pytest.mark.parametrize("true_model", sorted(CANDIDATE_MODELS))
+    def test_recovers_generating_model(self, true_model):
+        pts = curve(CANDIDATE_MODELS[true_model])
+        ranked = select_model(pts)
+        assert ranked[0].model == true_model
+
+    def test_noisy_plogp_still_wins_over_p2(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        f = CANDIDATE_MODELS["PlogP"]
+        pts = [
+            (p, 3.0 * f(p) * math.exp(rng.normal(0, 0.05)))
+            for p in (64, 128, 256, 512, 1024)
+        ]
+        ranked = {fit.model: i for i, fit in enumerate(select_model(pts))}
+        assert ranked["PlogP"] < ranked["P2"]
+
+    def test_restricted_candidates(self):
+        pts = curve(CANDIDATE_MODELS["PlogP"])
+        ranked = select_model(pts, models=["P", "P2"])
+        assert {f.model for f in ranked} == {"P", "P2"}
+        # P is closer to P log P than P^2 is.
+        assert ranked[0].model == "P"

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.baselines.fess_fegs import IdleTrigger, fegs_scheme, fess_scheme
+from repro.core.scheduler import Scheduler
+from repro.core.triggering import TriggerState
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.divisible import DivisibleWorkload
+
+
+def run(scheme, work=20_000, n_pes=64, seed=0, cost=None):
+    wl = DivisibleWorkload(work, n_pes, rng=seed)
+    machine = SimdMachine(n_pes, cost or CostModel())
+    return Scheduler(wl, machine, scheme).run(), wl, machine
+
+
+class TestIdleTrigger:
+    def test_fires_on_first_idle(self):
+        t = IdleTrigger()
+        assert not t.after_cycle(TriggerState(busy=10, expanding=10, n_pes=10, dt=0.03))
+        assert t.after_cycle(TriggerState(busy=9, expanding=9, n_pes=10, dt=0.03))
+
+    def test_min_idle_hysteresis(self):
+        t = IdleTrigger(min_idle=3)
+        assert not t.after_cycle(TriggerState(busy=8, expanding=8, n_pes=10, dt=0.03))
+        assert t.after_cycle(TriggerState(busy=7, expanding=7, n_pes=10, dt=0.03))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdleTrigger(min_idle=0)
+
+
+class TestFESS:
+    def test_completes_all_work(self):
+        metrics, wl, machine = run(fess_scheme())
+        assert wl.done() and wl.check_conservation()
+        assert machine.check_time_identity()
+
+    def test_single_transfer_round(self):
+        assert fess_scheme().multiple_transfers is False
+
+    def test_balances_very_frequently(self):
+        metrics, _, _ = run(fess_scheme())
+        # Section 8: FESS "usually performs as many load balancing phases
+        # as node expansion cycles" — at least a large fraction.
+        assert metrics.n_lb > 0.3 * metrics.n_expand
+
+    def test_collapses_under_expensive_lb(self):
+        cheap, _, _ = run(fess_scheme())
+        dear, _, _ = run(fess_scheme(), cost=CostModel().with_lb_multiplier(16.0))
+        assert dear.efficiency < 0.6 * cheap.efficiency
+
+
+class TestFEGS:
+    def test_completes_all_work(self):
+        metrics, wl, _ = run(fegs_scheme())
+        assert wl.done()
+
+    def test_multiple_transfer_rounds(self):
+        assert fegs_scheme().multiple_transfers is True
+
+    def test_fegs_fewer_phases_than_fess(self):
+        # Section 8: better distribution per phase -> fewer phases.
+        fess_m, _, _ = run(fess_scheme(), work=100_000, n_pes=128)
+        fegs_m, _, _ = run(fegs_scheme(), work=100_000, n_pes=128)
+        assert fegs_m.n_lb <= fess_m.n_lb
+
+    def test_fegs_beats_fess_when_lb_expensive(self):
+        cost = CostModel().with_lb_multiplier(8.0)
+        fess_m, _, _ = run(fess_scheme(), work=100_000, n_pes=128, cost=cost)
+        fegs_m, _, _ = run(fegs_scheme(), work=100_000, n_pes=128, cost=cost)
+        assert fegs_m.efficiency >= fess_m.efficiency

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.baselines.frye import NearestNeighborScheduler, frye_give_one_scheme
+from repro.core.scheduler import Scheduler
+from repro.core.splitting import UnitSplitter
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.divisible import DivisibleWorkload
+
+
+class TestFryeGiveOne:
+    def test_completes_all_work(self):
+        wl = DivisibleWorkload(5_000, 32, splitter=UnitSplitter(), rng=0)
+        machine = SimdMachine(32, CostModel())
+        metrics = Scheduler(wl, machine, frye_give_one_scheme()).run()
+        assert wl.done()
+        assert metrics.total_work == 5_000
+
+    def test_unit_donations_blow_up_transfers(self):
+        # The "poor splitting mechanism": transfer count approaches W,
+        # while an alpha-splitting scheme needs orders of magnitude fewer.
+        work, n_pes = 5_000, 32
+        wl = DivisibleWorkload(work, n_pes, splitter=UnitSplitter(), rng=0)
+        frye = Scheduler(wl, SimdMachine(n_pes, CostModel()), frye_give_one_scheme()).run()
+        wl2 = DivisibleWorkload(work, n_pes, rng=0)
+        gp = Scheduler(wl2, SimdMachine(n_pes, CostModel()), "GP-S0.75").run()
+        assert frye.n_transfers > 10 * gp.n_transfers
+
+    def test_worse_efficiency_than_gp(self):
+        work, n_pes = 5_000, 32
+        wl = DivisibleWorkload(work, n_pes, splitter=UnitSplitter(), rng=0)
+        frye = Scheduler(wl, SimdMachine(n_pes, CostModel()), frye_give_one_scheme()).run()
+        wl2 = DivisibleWorkload(work, n_pes, rng=0)
+        gp = Scheduler(wl2, SimdMachine(n_pes, CostModel()), "GP-S0.75").run()
+        assert frye.efficiency < gp.efficiency
+
+
+class TestNearestNeighbor:
+    def test_completes_all_work(self):
+        wl = DivisibleWorkload(10_000, 32, rng=1, initial="uniform")
+        machine = SimdMachine(32, CostModel())
+        metrics = NearestNeighborScheduler(wl, machine).run()
+        assert wl.done()
+        assert metrics.total_work == 10_000
+        assert machine.check_time_identity()
+
+    def test_slow_root_diffusion(self):
+        # Work spreads one ring hop per cycle from PE 0: the number of
+        # cycles is far above the balanced ideal of W/P.
+        wl = DivisibleWorkload(10_000, 64, rng=1)
+        machine = SimdMachine(64, CostModel())
+        metrics = NearestNeighborScheduler(wl, machine).run()
+        assert metrics.n_expand > 3 * (10_000 // 64)
+
+    def test_uniform_start_is_efficient(self):
+        wl = DivisibleWorkload(50_000, 64, rng=1, initial="uniform")
+        machine = SimdMachine(64, CostModel())
+        metrics = NearestNeighborScheduler(wl, machine).run()
+        assert metrics.efficiency > 0.5
+
+    def test_pe_count_mismatch_rejected(self):
+        wl = DivisibleWorkload(100, 8)
+        with pytest.raises(ValueError):
+            NearestNeighborScheduler(wl, SimdMachine(16, CostModel()))
+
+    def test_max_cycles_cap(self):
+        wl = DivisibleWorkload(10**8, 8)
+        machine = SimdMachine(8, CostModel())
+        NearestNeighborScheduler(wl, machine, max_cycles=20).run()
+        assert machine.n_cycles <= 20

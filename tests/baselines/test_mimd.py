@@ -1,0 +1,58 @@
+import pytest
+
+from repro.baselines.mimd import MimdWorkStealing
+from repro.core.splitting import HalfSplitter
+
+
+class TestMimdWorkStealing:
+    def test_completes_exactly_w(self):
+        r = MimdWorkStealing(10_000, 32, rng=0).run()
+        assert r.total_work == 10_000
+        assert r.makespan_steps >= 10_000 // 32
+
+    def test_single_pe_perfect(self):
+        r = MimdWorkStealing(500, 1, rng=0).run()
+        assert r.makespan_steps == 500
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_efficiency_bounds(self):
+        r = MimdWorkStealing(50_000, 64, rng=1).run()
+        assert 0.0 < r.efficiency <= 1.0
+        assert r.speedup == pytest.approx(r.efficiency * 64)
+
+    def test_reasonable_efficiency_at_scale(self):
+        r = MimdWorkStealing(200_000, 256, rng=2).run()
+        assert r.efficiency > 0.6
+
+    @pytest.mark.parametrize("policy", ["grr", "random"])
+    def test_policies_run(self, policy):
+        r = MimdWorkStealing(20_000, 64, policy=policy, rng=3).run()
+        assert r.n_steals > 0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MimdWorkStealing(100, 4, policy="lifo")
+
+    def test_deterministic_given_seed(self):
+        a = MimdWorkStealing(20_000, 64, rng=5).run()
+        b = MimdWorkStealing(20_000, 64, rng=5).run()
+        assert a == b
+
+    def test_latency_hurts_efficiency(self):
+        fast = MimdWorkStealing(50_000, 128, steal_latency=1, rng=4).run()
+        slow = MimdWorkStealing(50_000, 128, steal_latency=50, rng=4).run()
+        assert slow.efficiency < fast.efficiency
+
+    def test_max_steps_guard(self):
+        with pytest.raises(RuntimeError):
+            MimdWorkStealing(10_000, 4, rng=0).run(max_steps=10)
+
+    def test_splitter_injection(self):
+        r = MimdWorkStealing(20_000, 64, splitter=HalfSplitter(), rng=6).run()
+        assert r.total_work == 20_000
+
+    def test_efficiency_grows_with_work_at_fixed_p(self):
+        # The isoefficiency premise: more work per PE -> higher efficiency.
+        small = MimdWorkStealing(20_000, 128, rng=7).run()
+        large = MimdWorkStealing(400_000, 128, rng=7).run()
+        assert large.efficiency > small.efficiency

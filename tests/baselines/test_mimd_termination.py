@@ -1,0 +1,45 @@
+import pytest
+
+from repro.baselines.mimd import MimdWorkStealing
+
+
+class TestTokenTermination:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="termination"):
+            MimdWorkStealing(100, 4, termination="oracle")
+
+    def test_omniscient_has_no_detection_time(self):
+        r = MimdWorkStealing(5_000, 16, rng=0).run()
+        assert r.termination_steps is None
+
+    @pytest.mark.parametrize("n_pes", [1, 4, 32, 128])
+    def test_same_makespan_as_omniscient(self, n_pes):
+        # Detection never changes how the work itself is scheduled.
+        omn = MimdWorkStealing(10_000, n_pes, rng=2).run()
+        tok = MimdWorkStealing(10_000, n_pes, rng=2, termination="token").run()
+        assert tok.makespan_steps == omn.makespan_steps
+        assert tok.n_steals == omn.n_steals
+
+    @pytest.mark.parametrize("n_pes", [4, 32, 128])
+    def test_detection_tail_bounded_by_two_laps(self, n_pes):
+        r = MimdWorkStealing(10_000, n_pes, rng=2, termination="token").run()
+        tail = r.termination_steps - r.makespan_steps
+        assert 0 <= tail <= 2 * n_pes + 2
+
+    def test_single_pe_detects_immediately(self):
+        r = MimdWorkStealing(500, 1, rng=0, termination="token").run()
+        assert r.termination_steps == r.makespan_steps == 500
+
+    def test_never_declares_early(self):
+        # The invariant the white/black protocol guarantees: detection
+        # at or after the true makespan, across many seeds.
+        for seed in range(10):
+            r = MimdWorkStealing(3_000, 16, rng=seed, termination="token").run()
+            assert r.termination_steps >= r.makespan_steps
+
+    def test_tail_grows_with_ring_size(self):
+        small = MimdWorkStealing(20_000, 8, rng=3, termination="token").run()
+        large = MimdWorkStealing(20_000, 256, rng=3, termination="token").run()
+        tail_small = small.termination_steps - small.makespan_steps
+        tail_large = large.termination_steps - large.makespan_steps
+        assert tail_large > tail_small

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.simd.topology import MeshTopology
+from repro.workmodel.divisible import DivisibleWorkload
+
+
+class TestChargeCollective:
+    def test_machine_accounting(self):
+        m = SimdMachine(8, CostModel())
+        m.charge_collective(0.5)
+        assert m.ledger.t_lb == pytest.approx(4.0)
+        assert m.ledger.elapsed == pytest.approx(0.5)
+        assert m.n_lb_phases == 0  # not a balancing phase
+        assert m.check_time_identity()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimdMachine(8, CostModel()).charge_collective(-1.0)
+
+
+class TestSchedulerCollectives:
+    def run(self, charge, topology=None):
+        cost = CostModel() if topology is None else CostModel(topology=topology)
+        wl = DivisibleWorkload(20_000, 64, rng=1)
+        machine = SimdMachine(64, cost)
+        metrics = Scheduler(
+            wl, machine, "GP-S0.85", charge_collectives=charge
+        ).run()
+        assert machine.check_time_identity()
+        return metrics
+
+    def test_off_by_default_is_free(self):
+        free = self.run(False)
+        charged = self.run(True)
+        assert charged.efficiency < free.efficiency
+        assert charged.n_expand == free.n_expand  # same schedule, more cost
+
+    def test_cm2_collectives_nearly_free(self):
+        # CM-2 scans cost 1 ms vs a 30 ms cycle: the drop is small.
+        free = self.run(False)
+        charged = self.run(True)
+        assert charged.efficiency > 0.9 * free.efficiency
+
+    def test_mesh_collectives_hurt(self):
+        # On a mesh the per-cycle reduction costs O(sqrt P) and visibly
+        # drags efficiency.
+        mesh = MeshTopology(scan_hop_cost=2e-3, transfer_hop_cost=2e-3)
+        free = self.run(False, topology=mesh)
+        charged = self.run(True, topology=mesh)
+        assert charged.efficiency < 0.9 * free.efficiency

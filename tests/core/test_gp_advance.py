@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.core.matching import GPMatcher
+
+
+BUSY = np.array([1, 1, 1, 1, 0, 0], dtype=bool)
+IDLE = ~BUSY
+
+
+class TestAdvancePolicies:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="advance"):
+            GPMatcher(advance="random")
+
+    def test_last_donor_is_default(self):
+        m = GPMatcher()
+        m.match(BUSY, IDLE)
+        assert m.pointer == 1  # donors were PEs 0 and 1
+
+    def test_first_donor_rotates_slower(self):
+        m = GPMatcher(advance="first_donor")
+        m.match(BUSY, IDLE)
+        assert m.pointer == 0
+        r = m.match(BUSY, IDLE)
+        assert np.array_equal(r.donors, [1, 2])
+
+    def test_frozen_pointer_repeats(self):
+        m = GPMatcher(pointer=1, advance="frozen")
+        first = m.match(BUSY, IDLE)
+        second = m.match(BUSY, IDLE)
+        assert np.array_equal(first.donors, second.donors)
+        assert m.pointer == 1
+
+    def test_coverage_speed_ordering(self):
+        # Phases needed until every busy PE has donated once:
+        # last_donor <= first_donor; frozen never covers.
+        def phases_to_cover(matcher, limit=20):
+            seen: set[int] = set()
+            target = set(np.flatnonzero(BUSY).tolist())
+            for i in range(1, limit + 1):
+                seen.update(matcher.match(BUSY, IDLE).donors.tolist())
+                if seen == target:
+                    return i
+            return None
+
+        fast = phases_to_cover(GPMatcher())
+        slow = phases_to_cover(GPMatcher(advance="first_donor"))
+        frozen = phases_to_cover(GPMatcher(advance="frozen"))
+        assert fast is not None and slow is not None
+        assert fast <= slow
+        assert frozen is None

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.core.metrics import RunMetrics, Trace
+from repro.simd.machine import TimeLedger
+
+
+def make_metrics(**overrides):
+    defaults = dict(
+        scheme="GP-S0.90",
+        n_pes=64,
+        total_work=1000,
+        n_expand=20,
+        n_lb=5,
+        n_transfers=40,
+        n_init_lb=0,
+        ledger=TimeLedger(t_calc=30.0, t_idle=6.0, t_lb=4.0, elapsed=0.625),
+    )
+    defaults.update(overrides)
+    return RunMetrics(**defaults)
+
+
+class TestRunMetrics:
+    def test_efficiency_delegates_to_ledger(self):
+        m = make_metrics()
+        assert m.efficiency == pytest.approx(30.0 / 40.0)
+
+    def test_speedup(self):
+        m = make_metrics()
+        assert m.speedup == pytest.approx(48.0)
+
+    def test_summary_row(self):
+        m = make_metrics()
+        scheme, n_expand, n_lb, transfers, eff = m.summary_row()
+        assert scheme == "GP-S0.90"
+        assert (n_expand, n_lb, transfers) == (20, 5, 40)
+        assert eff == pytest.approx(0.75)
+
+    def test_avg_busy_fraction_requires_trace(self):
+        with pytest.raises(ValueError, match="trace"):
+            make_metrics().avg_busy_fraction
+
+    def test_avg_busy_fraction(self):
+        trace = Trace()
+        trace.record_cycle(busy=10, expanding=32, r1=0, r2=0)
+        trace.record_cycle(busy=10, expanding=64, r1=0, r2=0)
+        m = make_metrics(trace=trace)
+        assert m.avg_busy_fraction == pytest.approx((32 + 64) / (2 * 64))
+
+
+class TestTrace:
+    def test_record_cycle_appends_all_series(self):
+        t = Trace()
+        t.record_cycle(3, 5, 1.0, 2.0)
+        assert t.busy_per_cycle == [3]
+        assert t.expanding_per_cycle == [5]
+        assert t.trigger_r1 == [1.0]
+        assert t.trigger_r2 == [2.0]
+
+    def test_record_lb(self):
+        t = Trace()
+        t.record_lb(7)
+        assert t.lb_cycle_indices == [7]

@@ -1,0 +1,47 @@
+"""The Appendix B asymmetry, executable.
+
+With a persistent busy/idle pattern, nGP's donors are always the PEs at
+the front of the enumeration — the donation burden never rotates — while
+GP covers every busy PE in ceil(A/k) phases.  This is the mechanism
+behind the V(P) gap (1 vs (log W)^{(2x-1)/(1-x)}) and Figure 3.
+"""
+
+import numpy as np
+
+from repro.core.matching import GPMatcher, NGPMatcher
+
+
+BUSY = np.array([1] * 6 + [0] * 2, dtype=bool)
+IDLE = ~BUSY
+
+
+class TestDonationBurden:
+    def test_ngp_never_rotates(self):
+        m = NGPMatcher()
+        donors_seen = set()
+        for _ in range(50):
+            donors_seen.update(m.match(BUSY, IDLE).donors.tolist())
+        # 2 idle PEs -> always the first 2 busy PEs donate; PEs 2-5 never.
+        assert donors_seen == {0, 1}
+
+    def test_gp_covers_all_in_ceil_a_over_k_phases(self):
+        m = GPMatcher()
+        donors_seen = set()
+        for _ in range(3):  # ceil(6 busy / 2 pairs) = 3 phases
+            donors_seen.update(m.match(BUSY, IDLE).donors.tolist())
+        assert donors_seen == set(range(6))
+
+    def test_burden_ratio_grows_with_phases(self):
+        # Donation counts per PE after many phases: nGP concentrates the
+        # whole burden on two PEs; GP spreads it evenly.
+        phases = 30
+        ngp_counts = np.zeros(8, dtype=int)
+        gp_counts = np.zeros(8, dtype=int)
+        ngp, gp = NGPMatcher(), GPMatcher()
+        for _ in range(phases):
+            for matcher, counts in ((ngp, ngp_counts), (gp, gp_counts)):
+                for d in matcher.match(BUSY, IDLE).donors:
+                    counts[d] += 1
+        assert ngp_counts.max() == phases
+        busy_gp = gp_counts[:6]
+        assert busy_gp.max() - busy_gp.min() <= 1  # perfectly rotated

@@ -1,0 +1,96 @@
+"""Edge cases of the scheduling loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.divisible import DivisibleWorkload
+
+
+class TestDegenerateStates:
+    def test_all_pes_hold_single_node(self):
+        # Busy set empty (nobody can split) while everyone expands: the
+        # trigger may fire but no LB phase can run; the run must finish
+        # without a single balancing phase.
+        wl = DivisibleWorkload(4, 4, initial="uniform", rng=0)
+        machine = SimdMachine(4, CostModel())
+        metrics = Scheduler(wl, machine, "GP-S0.99").run()
+        assert wl.done()
+        assert metrics.n_lb == 0
+        assert metrics.n_expand == 1
+
+    def test_more_pes_than_work(self):
+        wl = DivisibleWorkload(3, 16, rng=0)
+        machine = SimdMachine(16, CostModel())
+        metrics = Scheduler(wl, machine, "GP-S0.75").run()
+        assert wl.done()
+        assert metrics.total_work == 3
+
+    def test_single_pe_no_balancing(self):
+        wl = DivisibleWorkload(100, 1, rng=0)
+        machine = SimdMachine(1, CostModel())
+        metrics = Scheduler(wl, machine, "GP-S0.5").run()
+        assert metrics.n_lb == 0
+        assert metrics.efficiency == pytest.approx(1.0)
+
+    def test_work_of_one(self):
+        wl = DivisibleWorkload(1, 8, rng=0)
+        machine = SimdMachine(8, CostModel())
+        metrics = Scheduler(wl, machine, "GP-DK", init_threshold=0.85).run()
+        assert metrics.total_work == 1
+        assert metrics.n_expand == 1
+
+    def test_init_threshold_one_requires_full_activation(self):
+        wl = DivisibleWorkload(10_000, 8, rng=0)
+        machine = SimdMachine(8, CostModel())
+        metrics = Scheduler(wl, machine, "GP-DK", init_threshold=1.0).run()
+        assert wl.done()
+
+    def test_trigger_storm_does_not_livelock(self):
+        # x=1.0 fires after every cycle; each phase does useful work and
+        # the run still terminates with Nlb <= Nexpand.
+        wl = DivisibleWorkload(5_000, 32, rng=1)
+        machine = SimdMachine(32, CostModel())
+        metrics = Scheduler(wl, machine, "GP-S1.0").run()
+        assert wl.done()
+        assert metrics.n_lb <= metrics.n_expand
+
+
+class TestSearchWorkloadEdges:
+    def test_transfer_declined_for_busy_receiver(self):
+        from repro.problems.nqueens import NQueensProblem
+        from repro.search.parallel import SearchWorkload
+
+        wl = SearchWorkload(NQueensProblem(6), 6, 2)
+        wl.expand_cycle()
+        # Make PE1 non-idle, then try to send it more work.
+        assert wl.transfer(np.array([0]), np.array([1])) == 1
+        assert wl.transfer(np.array([0]), np.array([1])) == 0
+
+    def test_half_split_receiver_preserves_depth_order(self):
+        from repro.problems.nqueens import NQueensProblem
+        from repro.search.parallel import SearchWorkload
+        from repro.search.serial import depth_bounded_dfs
+
+        serial = depth_bounded_dfs(NQueensProblem(6), 6)
+        wl = SearchWorkload(NQueensProblem(6), 6, 4, split="half")
+        while not wl.done():
+            wl.expand_cycle()
+            busy = np.flatnonzero(wl.busy_mask())
+            idle = np.flatnonzero(wl.idle_mask())
+            k = min(len(busy), len(idle))
+            if k:
+                wl.transfer(busy[:k], idle[:k])
+        assert wl.expanded == serial.expanded
+        assert wl.solutions == serial.solutions
+
+
+class TestCostModelEdges:
+    def test_multiplier_chains(self):
+        from repro.simd.cost import CostModel
+
+        cost = CostModel().with_lb_multiplier(2.0).with_lb_multiplier(8.0)
+        # with_lb_multiplier replaces (not compounds) the multiplier.
+        assert cost.lb_cost_multiplier == 8.0

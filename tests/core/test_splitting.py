@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.splitting import (
+    AlphaSplitter,
+    FixedFractionSplitter,
+    HalfSplitter,
+    UnitSplitter,
+)
+
+
+class TestAlphaSplitter:
+    def test_rejects_alpha_min_out_of_range(self):
+        with pytest.raises(ValueError):
+            AlphaSplitter(alpha_min=0.0)
+        with pytest.raises(ValueError):
+            AlphaSplitter(alpha_min=0.6)
+
+    def test_rejects_alpha_max_out_of_range(self):
+        with pytest.raises(ValueError):
+            AlphaSplitter(alpha_min=0.2, alpha_max=0.1)
+        with pytest.raises(ValueError):
+            AlphaSplitter(alpha_min=0.2, alpha_max=0.9)
+
+    def test_rejects_small_donor(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            AlphaSplitter().donation(np.array([1]), np.random.default_rng(0))
+
+    @given(
+        st.lists(st.integers(2, 10**9), min_size=1, max_size=50),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_both_pieces_nonempty(self, works, seed):
+        w = np.array(works, dtype=np.int64)
+        d = AlphaSplitter().donation(w, np.random.default_rng(seed))
+        assert np.all(d >= 1)
+        assert np.all(d <= w - 1)
+
+    @given(st.integers(100, 10**6), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_bound_respected_for_large_work(self, work, seed):
+        # For large w, integer rounding is negligible and the donated
+        # fraction must respect [alpha_min, alpha_max].
+        sp = AlphaSplitter(alpha_min=0.2, alpha_max=0.5)
+        w = np.full(20, work, dtype=np.int64)
+        d = sp.donation(w, np.random.default_rng(seed))
+        frac = d / w
+        assert np.all(frac >= 0.2 - 1 / work)
+        assert np.all(frac <= 0.5 + 1 / work)
+
+    def test_wide_splitter_allows_large_donations(self):
+        sp = AlphaSplitter(alpha_min=0.02, alpha_max=0.98)
+        d = sp.donation(np.full(2000, 10_000, dtype=np.int64), np.random.default_rng(1))
+        assert (d / 10_000 > 0.6).any()
+
+
+class TestHalfSplitter:
+    def test_exactly_half(self):
+        d = HalfSplitter().donation(np.array([10, 11]), np.random.default_rng(0))
+        # 11/2 rounds to even -> 6 via rint? rint(5.5) = 6; clip keeps <= 10.
+        assert d[0] == 5
+        assert d[1] in (5, 6)
+
+    def test_minimum_donor(self):
+        d = HalfSplitter().donation(np.array([2]), np.random.default_rng(0))
+        assert d[0] == 1
+
+
+class TestFixedFractionSplitter:
+    def test_fraction_applied(self):
+        sp = FixedFractionSplitter(alpha_min=0.1, fraction=0.25)
+        d = sp.donation(np.array([100]), np.random.default_rng(0))
+        assert d[0] == 25
+
+    def test_fraction_out_of_band_rejected(self):
+        with pytest.raises(ValueError):
+            FixedFractionSplitter(alpha_min=0.3, fraction=0.1)
+
+
+class TestUnitSplitter:
+    def test_donates_one(self):
+        d = UnitSplitter().donation(np.array([2, 100, 10**6]), np.random.default_rng(0))
+        assert np.array_equal(d, [1, 1, 1])
+
+    def test_fractions_unsupported(self):
+        with pytest.raises(TypeError):
+            UnitSplitter().fractions(3, np.random.default_rng(0))
+
+    def test_rejects_small_donor(self):
+        with pytest.raises(ValueError):
+            UnitSplitter().donation(np.array([1]), np.random.default_rng(0))

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.core.triggering import DKTrigger, DPTrigger, StaticTrigger, TriggerState
+
+
+def state(busy, expanding=None, n_pes=100, dt=0.03):
+    return TriggerState(
+        busy=busy,
+        expanding=busy if expanding is None else expanding,
+        n_pes=n_pes,
+        dt=dt,
+    )
+
+
+class TestStaticTrigger:
+    def test_fires_at_threshold(self):
+        t = StaticTrigger(x=0.75)
+        assert not t.after_cycle(state(80))
+        assert t.after_cycle(state(75))
+        assert t.after_cycle(state(10))
+
+    def test_name_embeds_threshold(self):
+        assert StaticTrigger(x=0.9).name == "S0.90"
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            StaticTrigger(x=1.5)
+
+    def test_single_transfers(self):
+        assert StaticTrigger(x=0.5).multiple_transfers is False
+
+    def test_geometry_exposed(self):
+        t = StaticTrigger(x=0.5)
+        t.after_cycle(state(30))
+        assert t.last_r1 == 30.0
+        assert t.last_r2 == 50.0
+
+
+class TestDPTrigger:
+    def test_requires_multiple_transfers(self):
+        assert DPTrigger().multiple_transfers is True
+
+    def test_fires_when_work_area_exceeds(self):
+        # All 100 PEs busy: w - A*t = 0 forever; drop to 50 busy and the
+        # surplus area must eventually reach A*L.
+        t = DPTrigger(initial_lb_cost=0.03)
+        assert not t.after_cycle(state(100))
+        fired = False
+        for _ in range(10):
+            fired = t.after_cycle(state(50))
+            if fired:
+                break
+        assert fired
+
+    def test_never_fires_with_all_busy(self):
+        t = DPTrigger(initial_lb_cost=0.013)
+        for _ in range(1000):
+            assert not t.after_cycle(state(100))
+
+    def test_pathology_single_active(self):
+        # Section 6.1 observation 1: with one active PE, R1 stays ~0 and
+        # the trigger never fires.
+        t = DPTrigger(initial_lb_cost=0.013)
+        for _ in range(5000):
+            assert not t.after_cycle(state(1))
+
+    def test_high_lb_cost_delays(self):
+        cheap = DPTrigger(initial_lb_cost=0.013)
+        dear = DPTrigger(initial_lb_cost=0.13)
+
+        def fire_cycle(t):
+            # Half the PEs are splittable but all expand: surplus work
+            # area grows 1.5 processor-seconds per cycle.
+            for i in range(10_000):
+                if t.after_cycle(state(50, expanding=100)):
+                    return i
+            raise AssertionError("trigger never fired")
+
+        assert fire_cycle(cheap) < fire_cycle(dear)
+
+    def test_start_phase_resets(self):
+        t = DPTrigger(initial_lb_cost=0.03)
+        for _ in range(20):
+            t.after_cycle(state(50))
+        t.start_phase()
+        assert not t.after_cycle(state(100))
+
+    def test_notify_updates_estimate(self):
+        t = DPTrigger(initial_lb_cost=0.001)
+        t.notify_lb_cost(100.0)
+        assert not t.after_cycle(state(50))  # huge L delays firing
+
+    def test_reset_restores_initial_estimate(self):
+        t = DPTrigger(initial_lb_cost=0.001)
+        t.notify_lb_cost(100.0)
+        t.reset()
+        t.after_cycle(state(50))
+        assert t.last_r2 == pytest.approx(50 * 0.001)
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError):
+            DPTrigger(initial_lb_cost=0.0)
+
+
+class TestDKTrigger:
+    def test_single_transfers(self):
+        assert DKTrigger().multiple_transfers is False
+
+    def test_fires_when_idle_time_reaches_lb_cost(self):
+        # P=100, L=0.03 -> fires when accumulated idle reaches 3.0
+        # processor-seconds: 50 idle * 0.03 per cycle = 1.5/cycle.
+        t = DKTrigger(initial_lb_cost=0.03)
+        assert not t.after_cycle(state(50, expanding=50))
+        assert t.after_cycle(state(50, expanding=50))
+
+    def test_never_fires_all_expanding(self):
+        t = DKTrigger(initial_lb_cost=0.013)
+        for _ in range(1000):
+            assert not t.after_cycle(state(100, expanding=100))
+
+    def test_fires_even_with_one_active(self):
+        # The D_K advantage over D_P: idle time accrues regardless of how
+        # little work is being done.
+        t = DKTrigger(initial_lb_cost=0.013)
+        fired = any(t.after_cycle(state(1, expanding=1)) for _ in range(100))
+        assert fired
+
+    def test_uses_expanding_not_busy_for_idle(self):
+        # A PE holding one node is expanding but not busy; it is not idle.
+        t = DKTrigger(initial_lb_cost=0.03)
+        assert not t.after_cycle(state(busy=0, expanding=100))
+        assert not t.after_cycle(state(busy=0, expanding=100))
+
+    def test_start_phase_resets_idle(self):
+        t = DKTrigger(initial_lb_cost=0.03)
+        t.after_cycle(state(50, expanding=50))
+        t.start_phase()
+        assert not t.after_cycle(state(50, expanding=50))
+
+    def test_notify_and_reset(self):
+        t = DKTrigger(initial_lb_cost=0.0001)
+        t.notify_lb_cost(10.0)
+        assert not t.after_cycle(state(50, expanding=50))
+        t.reset()
+        assert t.after_cycle(state(50, expanding=50))

@@ -1,0 +1,43 @@
+from pathlib import Path
+
+from repro.experiments.consolidate import EXPECTED_ARTIFACTS, consolidate_report
+from repro.experiments.report import TableResult
+
+
+def make_artifact(directory: Path, exp_id: str) -> None:
+    TableResult(
+        exp_id=exp_id, title="demo", headers=["a"], rows=[[1]]
+    ).save(directory)
+
+
+class TestConsolidateReport:
+    def test_empty_directory_lists_all_missing(self, tmp_path):
+        text = consolidate_report(tmp_path)
+        assert f"artifacts present: 0 / {len(EXPECTED_ARTIFACTS)}" in text
+        assert "missing" in text
+
+    def test_present_artifacts_included_in_order(self, tmp_path):
+        make_artifact(tmp_path, "table2")
+        make_artifact(tmp_path, "fig4")
+        text = consolidate_report(tmp_path)
+        assert "artifacts present: 2" in text
+        assert text.index("Table 2") < text.index("Figure 4")
+        assert "[table2] demo" in text
+
+    def test_writes_output_file(self, tmp_path):
+        make_artifact(tmp_path, "table1")
+        out = tmp_path / "sub" / "REPORT.md"
+        consolidate_report(tmp_path, out_path=out)
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+
+    def test_all_expected_ids_unique(self):
+        ids = [s.exp_id for s in EXPECTED_ARTIFACTS]
+        assert len(ids) == len(set(ids))
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        make_artifact(tmp_path, "table1")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        assert "artifacts present: 1" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFig1:
+    def test_r1_crosses_r2(self):
+        f = figures.fig1(scale="tiny")
+        assert "GP-DP R1" in f.series and "GP-DK R2" in f.series
+        r1 = [y for _, y in f.series["GP-DK R1"]]
+        r2 = [y for _, y in f.series["GP-DK R2"]]
+        assert any(a >= b > 0 for a, b in zip(r1, r2))
+
+
+class TestFig3:
+    def test_gap_grows_with_x_for_largest_w(self):
+        f = figures.fig3(scale="tiny")
+        largest = max(f.series, key=lambda k: int(k.split("=")[1]))
+        points = f.series[largest]
+        assert points[-1][1] > points[0][1]
+
+    def test_four_series(self):
+        f = figures.fig3(scale="tiny")
+        assert len(f.series) == 4
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def f4(self):
+        return figures.fig4(pes=[32, 64, 128], ratios=[8, 16, 32, 64, 128], targets=[0.7])
+
+    def test_gp_curve_near_plogp(self, f4):
+        note = next(n for n in f4.notes if n.startswith("GP-S0.90 E=0.7"))
+        exponent = float(note.rsplit("^", 1)[1])
+        assert 0.7 < exponent < 1.4
+
+    def test_curves_are_monotone_in_p(self, f4):
+        for label, pts in f4.series.items():
+            ws = [w for _, w in pts]
+            assert ws == sorted(ws), label
+
+
+class TestFig5:
+    def test_pathology_documented(self):
+        f = figures.fig5(n_pes=512, n_cycles=1000)
+        assert any("NEVER" in n for n in f.notes)
+        dk_notes = [n for n in f.notes if ": DK fires" in n]
+        assert all("NEVER" not in n for n in dk_notes)
+
+
+class TestFig6:
+    def test_bound_holds(self):
+        f = figures.fig6(scale="tiny")
+        for _, ratio in f.series["GP-DK vs GP-Sxo"]:
+            assert ratio < 2.0
+        assert all("OK" in n for n in f.notes)
+
+
+class TestFig7:
+    def test_dynamic_curves(self):
+        f = figures.fig7(pes=[32, 64, 128], ratios=[8, 16, 32, 64, 128], targets=[0.7])
+        assert any(k.startswith("GP-DK") for k in f.series)
+
+
+class TestFig8:
+    def test_traces_and_notes(self):
+        f = figures.fig8(scale="tiny")
+        assert len(f.series) == 4
+        assert any("(16x)" in k for k in f.series)
+        assert len(f.notes) == 4

@@ -1,0 +1,73 @@
+from pathlib import Path
+
+from repro.experiments.report import SeriesResult, TableResult
+
+
+class TestTableResult:
+    def test_render_includes_title_and_notes(self):
+        t = TableResult(
+            exp_id="table9",
+            title="demo",
+            headers=["a"],
+            rows=[[1]],
+            notes=["hello"],
+        )
+        out = t.render()
+        assert "[table9] demo" in out
+        assert "note: hello" in out
+
+    def test_save_writes_file(self, tmp_path):
+        t = TableResult(exp_id="tableX", title="t", headers=["a"], rows=[[1]])
+        path = t.save(tmp_path)
+        assert path == Path(tmp_path) / "tableX.txt"
+        assert "tableX" in path.read_text()
+
+    def test_save_creates_directory(self, tmp_path):
+        t = TableResult(exp_id="tableY", title="t", headers=["a"], rows=[[1]])
+        path = t.save(tmp_path / "nested" / "dir")
+        assert path.exists()
+
+
+class TestSeriesResult:
+    def test_render_lists_points(self):
+        s = SeriesResult(
+            exp_id="figX",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            series={"curve": [(1.0, 2.0), (3.0, 4.0)]},
+            notes=["n1"],
+        )
+        out = s.render()
+        assert "series: curve" in out
+        assert "note: n1" in out
+        assert "1" in out and "4" in out
+
+    def test_save(self, tmp_path):
+        s = SeriesResult("figY", "t", "x", "y", {"c": [(0.0, 0.0)]})
+        path = s.save(tmp_path)
+        assert path.read_text().startswith("[figY]")
+
+    def test_render_embeds_chart_when_plottable(self):
+        s = SeriesResult(
+            "figZ", "t", "P", "W",
+            {"c": [(64.0, 1000.0), (128.0, 2500.0), (256.0, 6000.0)]},
+        )
+        out = s.render()
+        assert "|" in out  # chart axis present
+        assert "o c" in out  # legend
+
+    def test_render_survives_unplottable_series(self):
+        # A single constant point on a log axis candidate must not crash
+        # the textual rendering.
+        s = SeriesResult("figW", "t", "x", "y", {"c": []})
+        out = s.render()
+        assert out.startswith("[figW]")
+
+    def test_render_chart_log_fallback(self):
+        # Zero x-values force the linear-axis path.
+        s = SeriesResult(
+            "figV", "t", "cycle", "active",
+            {"c": [(0.0, 10.0), (1.0, 5.0)]},
+        )
+        assert "|" in s.render_chart()

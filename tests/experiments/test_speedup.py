@@ -1,0 +1,40 @@
+import pytest
+
+from repro.experiments.speedup import speedup_curves
+
+
+class TestSpeedupCurves:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return speedup_curves(
+            ["GP-S0.85", "nGP-S0.85"], 100_000, [16, 64, 256], seed=2
+        )
+
+    def test_contains_ideal_reference(self, curves):
+        assert curves.series["ideal"] == [(16.0, 16.0), (64.0, 64.0), (256.0, 256.0)]
+
+    def test_speedup_below_ideal(self, curves):
+        for name, pts in curves.series.items():
+            if name == "ideal":
+                continue
+            for p, s in pts:
+                assert s <= p + 1e-9
+
+    def test_speedup_monotone_in_p(self, curves):
+        # At these W/P ratios more processors still help.
+        pts = curves.series["GP-S0.85"]
+        speeds = [s for _, s in pts]
+        assert speeds == sorted(speeds)
+
+    def test_saturation_at_fixed_w(self):
+        # Push P far beyond the knee: the efficiency must collapse.
+        curves = speedup_curves(["GP-S0.85"], 20_000, [16, 1024], seed=2)
+        (p1, s1), (p2, s2) = curves.series["GP-S0.85"]
+        assert s2 / p2 < 0.5 * (s1 / p1)
+
+    def test_empty_pes_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curves(["GP-S0.85"], 1000, [])
+
+    def test_notes_record_final_efficiency(self, curves):
+        assert any("GP-S0.85: E at P=256" in n for n in curves.notes)

@@ -1,0 +1,55 @@
+import json
+
+import pytest
+
+from repro.analysis.isoefficiency import isoefficiency_points
+from repro.experiments.runner import run_grid
+from repro.experiments.store import load_records, save_records, to_triples
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_grid(["GP-S0.75", "GP-DK"], [2_000, 8_000], [16, 32], base_seed=1)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, records, tmp_path):
+        path = save_records(records, tmp_path / "grid.json")
+        loaded = load_records(path)
+        assert len(loaded) == len(records)
+        for a, b in zip(records, loaded):
+            assert a.scheme == b.scheme
+            assert a.n_pes == b.n_pes
+            assert a.total_work == b.total_work
+            assert a.efficiency == pytest.approx(b.efficiency)
+            assert a.metrics.n_lb == b.metrics.n_lb
+
+    def test_creates_parent_dirs(self, records, tmp_path):
+        path = save_records(records[:1], tmp_path / "a" / "b" / "grid.json")
+        assert path.exists()
+
+    def test_version_check(self, records, tmp_path):
+        path = save_records(records[:1], tmp_path / "grid.json")
+        data = json.loads(path.read_text())
+        data["schema_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema version"):
+            load_records(path)
+
+    def test_traces_dropped(self, records, tmp_path):
+        path = save_records(records, tmp_path / "grid.json")
+        assert all(r.metrics.trace is None for r in load_records(path))
+
+
+class TestToTriples:
+    def test_feeds_isoefficiency(self, records):
+        triples = to_triples(records)
+        assert len(triples) == len(records)
+        # Must be consumable by the isoefficiency extractor.
+        isoefficiency_points(triples, 0.5)
+
+    def test_triple_contents(self, records):
+        p, w, e = to_triples(records)[0]
+        assert p == records[0].n_pes
+        assert w == float(records[0].total_work)
+        assert e == records[0].efficiency

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.runner import TINY_SCALE
+
+
+class TestTable1:
+    def test_six_rows_all_efficient(self):
+        t = tables.table1(scale="tiny")
+        assert len(t.rows) == 6
+        for row in t.rows:
+            assert 0 < row[-1] <= 1
+
+    def test_render(self):
+        out = tables.table1(scale="tiny").render()
+        assert "GP-DK" in out and "nGP-DP" in out
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return tables.table2(scale="tiny")
+
+    def test_layout(self, t2):
+        # 4 problem sizes x 3 metrics.
+        assert len(t2.rows) == 12
+        assert t2.headers[0] == "W"
+        assert t2.headers[-1] == "x_o"
+
+    def test_gp_equals_ngp_at_half(self, t2):
+        # Paper: "When x = 0.50 both algorithms perform similarly".
+        for row in t2.rows:
+            if row[1] == "Nlb":
+                ngp, gp = row[2], row[3]
+                assert abs(ngp - gp) <= 0.2 * max(ngp, gp) + 3
+
+    def test_ngp_gap_grows_with_x(self, t2):
+        # At x=0.90 the Nlb gap must exceed the x=0.50 gap for the
+        # largest problem.
+        nlb_rows = [r for r in t2.rows if r[1] == "Nlb"]
+        big = nlb_rows[-1]
+        gap_low = big[2] - big[3]
+        gap_high = big[-3] - big[-2]
+        assert gap_high > gap_low
+
+    def test_xo_only_on_efficiency_rows(self, t2):
+        for row in t2.rows:
+            if row[1] == "E":
+                assert row[-1] is not None
+            else:
+                assert row[-1] is None
+
+
+class TestTable3:
+    def test_sweeps_around_xo(self):
+        t = tables.table3(scale="tiny")
+        # 4 works x 7 thresholds.
+        assert len(t.rows) == 28
+        marked = [r for r in t.rows if r[3] == "x_o"]
+        assert len(marked) == 4
+
+    def test_efficiencies_near_peak(self):
+        t = tables.table3(scale="tiny")
+        by_w: dict[int, list] = {}
+        for w, x, e, tag in t.rows:
+            by_w.setdefault(w, []).append((x, e, tag))
+        for w, rows in by_w.items():
+            best = max(e for _, e, _ in rows)
+            at_xo = next(e for _, e, tag in rows if tag == "x_o")
+            assert at_xo >= 0.9 * best
+
+
+class TestTable4:
+    def test_layout(self):
+        t = tables.table4(scale="tiny")
+        assert len(t.rows) == 12
+        assert t.headers[2:] == ["nGP-DP", "GP-DP", "nGP-DK", "GP-DK"]
+
+    def test_gp_outperforms_ngp(self):
+        t = tables.table4(scale="tiny")
+        for row in t.rows:
+            if row[1] == "E" and row[0] == TINY_SCALE.works[-1]:
+                assert row[3] >= row[2]  # GP-DP >= nGP-DP
+                assert row[5] >= row[4]  # GP-DK >= nGP-DK
+
+    def test_dp_more_transfers_than_dk(self):
+        t = tables.table4(scale="tiny")
+        for row in t.rows:
+            if row[1] == "*Nlb":
+                assert row[2] > row[4]  # nGP: DP > DK
+                assert row[3] > row[5]  # GP: DP > DK
+
+
+class TestTable5:
+    def test_layout(self):
+        t = tables.table5(scale="tiny")
+        assert len(t.headers) == 10
+        assert len(t.rows) == 3
+
+    def test_dk_beats_dp_at_high_cost(self):
+        t = tables.table5(scale="tiny", seed=1)
+        e_row = next(r for r in t.rows if r[0] == "E")
+        # Columns: DP@1x DK@1x Sxo@1x DP@12x DK@12x Sxo@12x DP@16x DK@16x Sxo@16x.
+        dp16, dk16 = e_row[7], e_row[8]
+        assert dk16 >= dp16
+
+    def test_efficiency_degrades_with_cost(self):
+        t = tables.table5(scale="tiny", seed=1)
+        e_row = next(r for r in t.rows if r[0] == "E")
+        assert e_row[1] > e_row[4] > 0  # DP: 1x > 12x
+        assert e_row[2] > e_row[5] > 0  # DK: 1x > 12x
+
+
+class TestTable6:
+    def test_analytic_rows(self):
+        t = tables.table6()
+        assert len(t.rows) == 6
+        out = t.render()
+        assert "O(P log P)" in out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            tables.table2(scale="huge")

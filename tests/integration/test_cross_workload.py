@@ -1,0 +1,90 @@
+"""Every scheme against every workload fidelity.
+
+The scheduler sees only the Workload protocol, so all six Table 1
+schemes must drive the divisible model, the stack model, and the real
+search engine to completion with consistent accounting.  This is the
+cross-product safety net for refactors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_SCHEMES, make_scheme
+from repro.core.scheduler import Scheduler
+from repro.experiments.runner import default_init_threshold
+from repro.problems.nqueens import NQueensProblem
+from repro.search.parallel import SearchWorkload
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.divisible import DivisibleWorkload
+from repro.workmodel.stackmodel import StackWorkload
+
+N_PES = 32
+WORK = 8_000
+
+
+def make_workload(kind: str):
+    if kind == "divisible":
+        return DivisibleWorkload(WORK, N_PES, rng=5)
+    if kind == "stack":
+        return StackWorkload(WORK, N_PES, rng=5)
+    if kind == "search":
+        # 8-queens to bound 8 expands a fixed 2057-node tree.
+        return SearchWorkload(NQueensProblem(8), 8, N_PES)
+    raise AssertionError(kind)
+
+
+EXPECTED_WORK = {"divisible": WORK, "stack": WORK, "search": None}
+
+
+@pytest.mark.parametrize("kind", ["divisible", "stack", "search"])
+@pytest.mark.parametrize("spec", PAPER_SCHEMES)
+class TestEverySchemeOnEveryWorkload:
+    def test_runs_to_completion(self, kind, spec):
+        workload = make_workload(kind)
+        machine = SimdMachine(N_PES, CostModel())
+        metrics = Scheduler(
+            workload,
+            machine,
+            make_scheme(spec),
+            init_threshold=default_init_threshold(spec),
+        ).run()
+
+        assert workload.done()
+        expected = EXPECTED_WORK[kind]
+        if expected is not None:
+            assert metrics.total_work == expected
+        else:
+            # The search tree is schedule-independent when exhaustive.
+            from repro.search.serial import depth_bounded_dfs
+
+            assert metrics.total_work == depth_bounded_dfs(
+                NQueensProblem(8), 8
+            ).expanded
+
+        assert machine.check_time_identity()
+        assert 0.0 < metrics.efficiency <= 1.0
+        assert metrics.n_lb <= metrics.n_expand
+        # T_calc is exactly W * U_calc on every fidelity.
+        assert metrics.ledger.t_calc == pytest.approx(
+            metrics.total_work * machine.cost.u_calc
+        )
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_gp_dominates_ngp_phases_across_seeds(self, seed):
+        results = {}
+        for matching in ("GP", "nGP"):
+            wl = DivisibleWorkload(60_000, 128, rng=seed)
+            machine = SimdMachine(128, CostModel())
+            results[matching] = Scheduler(wl, machine, f"{matching}-S0.9").run()
+        assert results["GP"].n_lb <= results["nGP"].n_lb
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_work_expanded_exactly_once(self, seed):
+        wl = DivisibleWorkload(20_000, 64, rng=seed)
+        machine = SimdMachine(64, CostModel())
+        Scheduler(wl, machine, "GP-DK", init_threshold=0.85).run()
+        assert wl.total_expanded() == 20_000
+        assert wl.total_remaining() == 0

@@ -1,0 +1,184 @@
+"""End-to-end assertions of the paper's qualitative claims.
+
+Each test pins one conclusion of the paper at reduced scale; the
+benchmark suite re-runs the same experiments at paper scale and records
+the numbers in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    transfers_upper_bound,
+    v_bound_gp,
+    work_log,
+)
+from repro.analysis.optimal_trigger import optimal_static_trigger
+from repro.core.splitting import AlphaSplitter
+from repro.experiments.runner import run_divisible
+from repro.simd.cost import CostModel
+
+
+class TestGPBeatsNGP:
+    """Section 4/5: GP's phase count stays bounded; nGP's blows up."""
+
+    def test_nlb_gap_grows_with_x(self):
+        gaps = []
+        for x in (0.5, 0.7, 0.9):
+            ngp = run_divisible(f"nGP-S{x}", 200_000, 256, seed=0)
+            gp = run_divisible(f"GP-S{x}", 200_000, 256, seed=0)
+            gaps.append(ngp.n_lb - gp.n_lb)
+        assert gaps[0] <= gaps[1] <= gaps[2]
+        assert gaps[2] > 5 * max(1, gaps[0])
+
+    def test_gp_higher_efficiency_at_high_x(self):
+        ngp = run_divisible("nGP-S0.9", 500_000, 256, seed=0)
+        gp = run_divisible("GP-S0.9", 500_000, 256, seed=0)
+        assert gp.efficiency > ngp.efficiency
+
+
+class TestTransferBound:
+    """Appendix A: transfers <= V(P) * log_{1/(1-alpha)} W."""
+
+    @pytest.mark.parametrize("x", [0.6, 0.75, 0.9])
+    def test_gp_static_within_bound(self, x):
+        work, n_pes = 100_000, 128
+        alpha = 0.1  # the splitter's guaranteed minimum fraction
+        m = run_divisible(
+            f"GP-S{x}",
+            work,
+            n_pes,
+            seed=1,
+            splitter=AlphaSplitter(alpha_min=alpha),
+        )
+        # Transfers per "sweep of all busy PEs" is at most P; the bound
+        # counts sweeps (V(P)) times the split-cascade depth, times the
+        # per-sweep transfer volume (at most P pairs).
+        bound = transfers_upper_bound(v_bound_gp(x), work, alpha=alpha) * n_pes
+        assert m.n_transfers <= bound
+
+    def test_phase_count_scales_with_log_w(self):
+        # Doubling W multiplies the paper's phase bound by a constant
+        # factor ~ log growth, not by 2.
+        small = run_divisible("GP-S0.75", 100_000, 128, seed=2)
+        large = run_divisible("GP-S0.75", 800_000, 128, seed=2)
+        assert large.n_lb < 3 * small.n_lb
+
+
+class TestOptimalTrigger:
+    """Section 4.3 / Table 3: the analytic x_o sits near the optimum."""
+
+    def test_xo_within_grid_peak(self):
+        work, n_pes = 500_000, 256
+        cost = CostModel()
+        x_o = optimal_static_trigger(
+            work, n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(n_pes)
+        )
+        grid = np.round(np.arange(0.5, 0.99, 0.05), 3)
+        effs = {
+            x: run_divisible(f"GP-S{x}", work, n_pes, seed=3).efficiency for x in grid
+        }
+        best_x = max(effs, key=effs.get)
+        e_at_xo = run_divisible(f"GP-S{x_o:.4f}", work, n_pes, seed=3).efficiency
+        assert e_at_xo >= 0.95 * effs[best_x]
+        assert abs(best_x - x_o) < 0.15
+
+
+class TestDKGuarantee:
+    """Section 6.2: D_K overhead within 2x of the optimal static."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bound_across_seeds(self, seed):
+        work, n_pes = 200_000, 256
+        cost = CostModel()
+        x_o = optimal_static_trigger(
+            work, n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(n_pes)
+        )
+        dk = run_divisible("GP-DK", work, n_pes, seed=seed, init_threshold=0.85)
+        st = run_divisible(f"GP-S{x_o:.4f}", work, n_pes, seed=seed)
+        dk_overhead = dk.ledger.t_idle + dk.ledger.t_lb
+        st_overhead = st.ledger.t_idle + st.ledger.t_lb
+        assert dk_overhead <= 2.0 * st_overhead
+
+    def test_dk_efficiency_tracks_optimal(self):
+        work, n_pes = 500_000, 256
+        cost = CostModel()
+        x_o = optimal_static_trigger(
+            work, n_pes, u_calc=cost.u_calc, t_lb=cost.lb_phase_time(n_pes)
+        )
+        dk = run_divisible("GP-DK", work, n_pes, seed=4, init_threshold=0.85)
+        st = run_divisible(f"GP-S{x_o:.4f}", work, n_pes, seed=4)
+        # "if the efficiency of S^xo is 0.90, DK's will be at least 0.82"
+        assert dk.efficiency >= 0.85 * st.efficiency
+
+
+class TestHighLBCost:
+    """Table 5: D_K degrades gracefully; D_P degrades worse."""
+
+    def test_dk_at_least_dp_at_16x(self):
+        work, n_pes = 150_000, 256
+        splitter = AlphaSplitter(alpha_min=0.02, alpha_max=0.98)
+        cost = CostModel().with_lb_multiplier(16.0)
+        dp = run_divisible(
+            "GP-DP", work, n_pes, cost_model=cost, seed=5,
+            splitter=splitter, init_threshold=0.85,
+        )
+        dk = run_divisible(
+            "GP-DK", work, n_pes, cost_model=cost, seed=5,
+            splitter=splitter, init_threshold=0.85,
+        )
+        assert dk.efficiency >= 0.95 * dp.efficiency
+
+
+class TestEfficiencyMonotonicity:
+    """Section 3.2's scalability premise, measured."""
+
+    def test_e_grows_with_w_at_fixed_p(self):
+        effs = [
+            run_divisible("GP-S0.85", w, 256, seed=6).efficiency
+            for w in (50_000, 200_000, 800_000)
+        ]
+        assert effs[0] < effs[1] < effs[2]
+
+    def test_e_falls_with_p_at_fixed_w(self):
+        effs = [
+            run_divisible("GP-S0.85", 200_000, p, seed=6).efficiency
+            for p in (64, 256, 1024)
+        ]
+        assert effs[0] > effs[1] > effs[2]
+
+
+class TestMimdParity:
+    """Section 9: SIMD GP schemes scale like MIMD work stealing."""
+
+    def test_comparable_isoefficiency_growth(self):
+        import math
+
+        from repro.analysis.isoefficiency import growth_exponent, isoefficiency_points
+        from repro.baselines.mimd import MimdWorkStealing
+
+        pes = [32, 64, 128, 256]
+        ratios = [8, 16, 32, 64, 128]
+
+        def grid(run):
+            out = []
+            for p in pes:
+                for r in ratios:
+                    w = int(r * p * math.log2(p))
+                    out.append((p, float(w), run(w, p)))
+            return out
+
+        simd = grid(
+            lambda w, p: run_divisible("GP-S0.85", w, p, seed=7).efficiency
+        )
+        mimd = grid(
+            lambda w, p: MimdWorkStealing(w, p, rng=7).run().efficiency
+        )
+        simd_pts = isoefficiency_points(simd, 0.7)
+        mimd_pts = isoefficiency_points(mimd, 0.7)
+        assert len(simd_pts) >= 3 and len(mimd_pts) >= 3
+        b_simd = growth_exponent(simd_pts)
+        b_mimd = growth_exponent(mimd_pts)
+        # Both near O(P log P): exponents within a modest band.
+        assert 0.6 < b_simd < 1.5
+        assert 0.6 < b_mimd < 1.5

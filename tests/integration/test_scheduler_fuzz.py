@@ -1,0 +1,71 @@
+"""Property-based fuzzing of the full scheduling stack.
+
+Hypothesis drives random (scheme, threshold, P, W, alpha, cost) points
+through the divisible workload and asserts the universal invariants:
+exact work conservation, the time identity, metric sanity, and the
+Appendix A transfer bound for GP static schemes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import transfers_upper_bound, v_bound_gp
+from repro.core.scheduler import Scheduler
+from repro.core.splitting import AlphaSplitter
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.divisible import DivisibleWorkload
+
+schemes = st.one_of(
+    st.sampled_from(["GP-DP", "GP-DK", "nGP-DP", "nGP-DK"]),
+    st.tuples(
+        st.sampled_from(["GP", "nGP"]),
+        st.floats(0.05, 0.95).map(lambda x: round(x, 2)),
+    ).map(lambda mx: f"{mx[0]}-S{mx[1]}"),
+)
+
+
+class TestSchedulerFuzz:
+    @given(
+        spec=schemes,
+        n_pes=st.integers(2, 128),
+        work=st.integers(10, 30_000),
+        alpha_min=st.floats(0.02, 0.45),
+        lb_mult=st.floats(0.1, 20.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_universal_invariants(self, spec, n_pes, work, alpha_min, lb_mult, seed):
+        splitter = AlphaSplitter(alpha_min=round(alpha_min, 3))
+        workload = DivisibleWorkload(work, n_pes, splitter=splitter, rng=seed)
+        machine = SimdMachine(n_pes, CostModel().with_lb_multiplier(lb_mult))
+        init = 0.85 if spec.endswith(("DP", "DK")) else None
+        metrics = Scheduler(workload, machine, spec, init_threshold=init).run()
+
+        assert workload.done()
+        assert workload.check_conservation()
+        assert metrics.total_work == work
+        assert machine.check_time_identity()
+        assert 0.0 < metrics.efficiency <= 1.0
+        assert metrics.n_lb <= metrics.n_expand
+        assert metrics.n_transfers >= metrics.n_lb - metrics.n_expand  # sanity
+        # Every cycle expands at least one node until exhaustion.
+        assert metrics.n_expand <= work
+
+    @given(
+        x=st.floats(0.3, 0.9).map(lambda v: round(v, 2)),
+        n_pes=st.integers(4, 64),
+        work=st.integers(100, 20_000),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gp_transfer_bound(self, x, n_pes, work, seed):
+        alpha = 0.1
+        workload = DivisibleWorkload(
+            work, n_pes, splitter=AlphaSplitter(alpha_min=alpha), rng=seed
+        )
+        machine = SimdMachine(n_pes, CostModel())
+        metrics = Scheduler(workload, machine, f"GP-S{x}").run()
+        bound = transfers_upper_bound(v_bound_gp(x), work, alpha=alpha) * n_pes
+        assert metrics.n_transfers <= bound

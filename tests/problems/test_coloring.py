@@ -1,0 +1,94 @@
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.coloring import GraphColoringProblem
+from repro.search.ida_star import ida_star
+from repro.search.parallel import ParallelIDAStar
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            GraphColoringProblem(nx.Graph(), 3)
+
+    def test_bad_colors_rejected(self):
+        with pytest.raises(ValueError):
+            GraphColoringProblem(nx.path_graph(3), 0)
+
+    def test_random_deterministic(self):
+        a = GraphColoringProblem.random(8, 3, rng=4)
+        b = GraphColoringProblem.random(8, 3, rng=4)
+        assert a.earlier_neighbors == b.earlier_neighbors
+
+
+class TestKnownCounts:
+    def test_triangle_chromatic_polynomial(self):
+        # P(K3, k) = k(k-1)(k-2).
+        for k in (2, 3, 4):
+            p = GraphColoringProblem(nx.complete_graph(3), k)
+            assert p.count_colorings_brute_force() == k * (k - 1) * (k - 2)
+
+    def test_path_graph(self):
+        # P(P_n, k) = k(k-1)^(n-1).
+        p = GraphColoringProblem(nx.path_graph(4), 3)
+        assert p.count_colorings_brute_force() == 3 * 2**3
+
+    def test_edgeless_graph(self):
+        p = GraphColoringProblem(nx.empty_graph(3), 2)
+        assert p.count_colorings_brute_force() == 8
+
+    def test_search_matches_brute_force(self):
+        for seed in range(5):
+            p = GraphColoringProblem.random(7, 3, rng=seed)
+            r = ida_star(p)
+            assert r.solutions == p.count_colorings_brute_force()
+
+    def test_symmetry_break_divides_count(self):
+        full = GraphColoringProblem(nx.cycle_graph(5), 3)
+        broken = GraphColoringProblem(nx.cycle_graph(5), 3, symmetry_break=True)
+        assert (
+            full.count_colorings_brute_force()
+            == 3 * broken.count_colorings_brute_force()
+        )
+
+    def test_uncolorable_graph(self):
+        p = GraphColoringProblem(nx.complete_graph(4), 3)
+        assert p.count_colorings_brute_force() == 0
+        assert ida_star(p).solutions == 0
+
+
+class TestTreeStructure:
+    def test_heuristic_exact_depth(self):
+        p = GraphColoringProblem(nx.path_graph(4), 3)
+        assert p.heuristic(()) == 4
+        assert p.heuristic((0, 1)) == 2
+
+    def test_expand_prunes_conflicts(self):
+        p = GraphColoringProblem(nx.complete_graph(3), 3)
+        children = p.expand((0,))
+        assert all(c[-1] != 0 for c in children)
+        assert len(children) == 2
+
+    def test_ida_star_single_iteration(self):
+        p = GraphColoringProblem.random(7, 3, rng=1)
+        assert len(ida_star(p).bounds) == 1
+
+
+class TestParallel:
+    @pytest.mark.parametrize("spec", ["GP-S0.75", "nGP-DK"])
+    def test_parallel_counts_match_serial(self, spec):
+        p = GraphColoringProblem.random(9, 3, rng=2)
+        serial = ida_star(p)
+        init = 0.85 if spec.endswith("DK") else None
+        par = ParallelIDAStar(p, 16, spec, init_threshold=init).run()
+        assert par.solutions == serial.solutions
+        assert par.total_expanded == serial.total_expanded
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_count_equals_ground_truth(self, seed):
+        p = GraphColoringProblem.random(6, 3, rng=seed)
+        par = ParallelIDAStar(p, 8, "GP-S0.75").run()
+        assert par.solutions == p.count_colorings_brute_force()

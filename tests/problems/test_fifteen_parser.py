@@ -1,0 +1,37 @@
+import pytest
+
+from repro.problems.fifteen_puzzle import FifteenPuzzle
+
+
+class TestFromString:
+    def test_goal_instance(self):
+        p = FifteenPuzzle.from_string("1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 0")
+        assert p.is_goal(p.initial_state())
+
+    def test_whitespace_tolerant(self):
+        p = FifteenPuzzle.from_string(
+            "  1 2 3 4\n 5 6 7 8\n 9 10 11 12\n 13 14 15 0 "
+        )
+        assert p.tiles[0] == 1
+
+    def test_wrong_count(self):
+        with pytest.raises(ValueError, match="16 tiles"):
+            FifteenPuzzle.from_string("1 2 3")
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            FifteenPuzzle.from_string("1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 x")
+
+    def test_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            FifteenPuzzle.from_string("1 1 3 4 5 6 7 8 9 10 11 12 13 14 15 0")
+
+    def test_round_trips_through_solver(self):
+        from repro.search.ida_star import ida_star
+
+        scramble = FifteenPuzzle.from_string(
+            "1 2 3 4 5 6 7 8 9 10 12 0 13 14 11 15"
+        )
+        assert scramble.is_solvable()
+        result = ida_star(scramble)
+        assert result.solution_cost == 3

@@ -1,0 +1,41 @@
+from repro.problems.fifteen_puzzle import (
+    BENCH_INSTANCES,
+    FifteenPuzzle,
+    scrambled_fifteen_puzzle,
+)
+from repro.search.ida_star import ida_star
+
+
+class TestFifteenPuzzle:
+    def test_fixed_to_side_four(self):
+        p = FifteenPuzzle(tuple(list(range(1, 16)) + [0]))
+        assert p.side == 4
+
+    def test_scrambled_factory(self):
+        p = scrambled_fifteen_puzzle(10, rng=0)
+        assert isinstance(p, FifteenPuzzle)
+        assert p.is_solvable()
+
+
+class TestBenchInstances:
+    def test_expected_names(self):
+        assert set(BENCH_INSTANCES) == {"tiny", "small", "medium", "large"}
+
+    def test_all_solvable(self):
+        for p in BENCH_INSTANCES.values():
+            assert p.is_solvable()
+
+    def test_instances_stable_across_imports(self):
+        # Fixed seeds: re-generating gives identical layouts.
+        again = scrambled_fifteen_puzzle(12, rng=101)
+        assert BENCH_INSTANCES["tiny"].tiles == again.tiles
+
+    def test_difficulty_ordering(self):
+        tiny = ida_star(BENCH_INSTANCES["tiny"])
+        small = ida_star(BENCH_INSTANCES["small"])
+        assert tiny.total_expanded <= small.total_expanded
+
+    def test_tiny_is_quickly_solvable(self):
+        r = ida_star(BENCH_INSTANCES["tiny"])
+        assert r.solution_cost is not None
+        assert r.solution_cost <= 12

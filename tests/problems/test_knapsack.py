@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.knapsack import KnapsackProblem, KnapsackState
+from repro.search.branch_and_bound import serial_dfbb
+
+
+class TestConstruction:
+    def test_sorted_by_density(self):
+        p = KnapsackProblem([10, 1, 5], [10, 5, 10], 10)
+        densities = [v / w for v, w in zip(p.values, p.weights)]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackProblem([1, 2], [1], 5)
+        with pytest.raises(ValueError):
+            KnapsackProblem([], [], 5)
+        with pytest.raises(ValueError):
+            KnapsackProblem([0], [1], 5)
+        with pytest.raises(ValueError):
+            KnapsackProblem([1], [1], 0)
+
+    def test_random_deterministic(self):
+        a = KnapsackProblem.random(10, rng=3)
+        b = KnapsackProblem.random(10, rng=3)
+        assert a.weights == b.weights and a.capacity == b.capacity
+
+
+class TestTree:
+    def test_take_respects_capacity(self):
+        p = KnapsackProblem([5], [10], 4)
+        children = p.expand(p.initial_state())
+        # Item too heavy: only the skip branch exists.
+        assert len(children) == 1
+        assert children[0].value == 0
+
+    def test_leaf_objective(self):
+        p = KnapsackProblem([2, 3], [3, 4], 5)
+        leaf = KnapsackState(2, 5, 7)
+        assert p.objective(leaf) == 7.0
+        assert p.objective(p.initial_state()) is None
+
+    def test_bound_admissible_at_root(self):
+        p = KnapsackProblem.random(12, rng=1)
+        assert p.bound(p.initial_state()) >= p.solve_dp()
+
+    def test_bound_dominates_children(self):
+        p = KnapsackProblem.random(10, rng=4)
+        s = p.initial_state()
+        for child in p.expand(s):
+            assert p.bound(s) >= p.bound(child) - 1e-9
+
+
+class TestSolveDP:
+    def test_small_known_case(self):
+        # items (w, v): (2,3), (3,4), (4,5); capacity 5 -> take (2,3)+(3,4)=7.
+        p = KnapsackProblem([2, 3, 4], [3, 4, 5], 5)
+        assert p.solve_dp() == 7
+
+    def test_capacity_too_small(self):
+        p = KnapsackProblem([10], [5], 3)
+        assert p.solve_dp() == 0
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_dp_matches_brute_force(self, seed):
+        p = KnapsackProblem.random(10, rng=seed, max_weight=20)
+        n = p.n_items
+        best = 0
+        for mask in range(1 << n):
+            w = v = 0
+            for i in range(n):
+                if mask & (1 << i):
+                    w += p.weights[i]
+                    v += p.values[i]
+            if w <= p.capacity:
+                best = max(best, v)
+        assert p.solve_dp() == best
+
+
+class TestSerialDFBBOnKnapsack:
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_dfbb_matches_dp(self, seed):
+        p = KnapsackProblem.random(14, rng=seed)
+        result = serial_dfbb(p)
+        assert result.best_value == p.solve_dp()
+
+    def test_pruning_beats_enumeration(self):
+        p = KnapsackProblem.random(18, rng=9)
+        result = serial_dfbb(p)
+        assert result.expanded < 2**18

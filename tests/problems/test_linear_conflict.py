@@ -1,0 +1,78 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.npuzzle import SlidingPuzzle, linear_conflicts
+from repro.search.ida_star import ida_star
+
+GOAL8 = tuple(list(range(1, 9)) + [0])
+
+
+class TestLinearConflicts:
+    def test_goal_has_none(self):
+        assert linear_conflicts(GOAL8, 3) == 0
+
+    def test_single_row_swap(self):
+        # Swap tiles 1 and 2 (both in goal row 0, reversed): one
+        # conflict -> +2.
+        tiles = (2, 1, 3, 4, 5, 6, 7, 8, 0)
+        assert linear_conflicts(tiles, 3) == 2
+
+    def test_column_conflict(self):
+        # Tiles 1 and 4 both belong in column 0; put them reversed.
+        tiles = (4, 2, 3, 1, 5, 6, 7, 8, 0)
+        assert linear_conflicts(tiles, 3) == 2
+
+    def test_three_way_reversal(self):
+        # Row 0 fully reversed: 3 2 1 -> tiles pairwise conflicting.
+        # Greedy removal: remove the middle-most conflicted, then one
+        # more -> +4 (the known value for a reversed triple).
+        tiles = (3, 2, 1, 4, 5, 6, 7, 8, 0)
+        assert linear_conflicts(tiles, 3) == 4
+
+    def test_wrong_row_tiles_ignored(self):
+        # Tiles not in their goal row contribute nothing.
+        tiles = (5, 6, 4, 1, 2, 3, 7, 8, 0)
+        assert linear_conflicts(tiles, 3) == 0
+
+    def test_even_penalty(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = SlidingPuzzle.scrambled(4, int(rng.integers(5, 60)), rng=rng)
+            assert linear_conflicts(p.tiles, 4) % 2 == 0
+
+
+class TestLinearConflictHeuristic:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="heuristic_name"):
+            SlidingPuzzle(GOAL8, heuristic_name="pattern_db")
+
+    def test_dominates_manhattan(self):
+        for seed in range(10):
+            tiles = SlidingPuzzle.scrambled(4, 40, rng=seed).tiles
+            manhattan = SlidingPuzzle(tiles).heuristic(
+                SlidingPuzzle(tiles).initial_state()
+            )
+            lc = SlidingPuzzle(tiles, heuristic_name="linear_conflict")
+            assert lc.heuristic(lc.initial_state()) >= manhattan
+
+    @given(st.integers(0, 35), st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_admissible(self, k, seed):
+        # h never exceeds the true optimal cost (found by Manhattan
+        # IDA*, which is known-admissible).
+        base = SlidingPuzzle.scrambled(3, k, rng=seed)
+        optimal = ida_star(base).solution_cost
+        lc = SlidingPuzzle(base.tiles, heuristic_name="linear_conflict")
+        assert lc.heuristic(lc.initial_state()) <= optimal
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_optimum_fewer_expansions(self, seed):
+        base = SlidingPuzzle.scrambled(4, 28, rng=seed)
+        lc = SlidingPuzzle(base.tiles, heuristic_name="linear_conflict")
+        r_m = ida_star(base)
+        r_lc = ida_star(lc)
+        assert r_lc.solution_cost == r_m.solution_cost
+        assert r_lc.total_expanded <= r_m.total_expanded

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.npuzzle import PuzzleState, SlidingPuzzle, manhattan_distance
+
+GOAL8 = tuple(list(range(1, 9)) + [0])
+GOAL15 = tuple(list(range(1, 16)) + [0])
+
+
+class TestConstruction:
+    def test_side_inferred(self):
+        assert SlidingPuzzle(GOAL8).side == 3
+        assert SlidingPuzzle(GOAL15).side == 4
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            SlidingPuzzle((1, 1, 2, 3, 4, 5, 6, 7, 0))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            SlidingPuzzle((1, 2, 0), side=2)
+
+
+class TestExpand:
+    def test_corner_blank_has_two_moves(self):
+        p = SlidingPuzzle(GOAL8)
+        children = p.expand(p.initial_state())
+        assert len(children) == 2  # blank in a corner, no previous move
+
+    def test_center_blank_has_four_moves(self):
+        tiles = (1, 2, 3, 4, 0, 5, 6, 7, 8)
+        p = SlidingPuzzle(tiles)
+        children = p.expand(PuzzleState(tiles, 4, -1))
+        assert len(children) == 4
+
+    def test_never_undoes_previous_move(self):
+        p = SlidingPuzzle(GOAL8)
+        root = p.initial_state()
+        for child in p.expand(root):
+            for grandchild in p.expand(child):
+                assert grandchild.tiles != root.tiles
+
+    def test_children_are_valid_permutations(self):
+        p = SlidingPuzzle.scrambled(3, 15, rng=0)
+        for child in p.expand(p.initial_state()):
+            assert sorted(child.tiles) == list(range(9))
+            assert child.tiles[child.blank] == 0
+
+    def test_move_changes_exactly_two_cells(self):
+        p = SlidingPuzzle.scrambled(4, 10, rng=1)
+        s = p.initial_state()
+        for child in p.expand(s):
+            diffs = sum(a != b for a, b in zip(s.tiles, child.tiles))
+            assert diffs == 2
+
+
+class TestHeuristic:
+    def test_goal_has_zero(self):
+        p = SlidingPuzzle(GOAL8)
+        assert p.heuristic(p.initial_state()) == 0
+
+    def test_matches_reference_function(self):
+        p = SlidingPuzzle.scrambled(4, 25, rng=3)
+        s = p.initial_state()
+        assert p.heuristic(s) == manhattan_distance(s.tiles, 4)
+
+    def test_consistency_one_move_changes_h_by_one(self):
+        # Manhattan distance changes by exactly +-1 per move, making it
+        # consistent (and hence admissible).
+        p = SlidingPuzzle.scrambled(3, 20, rng=4)
+        s = p.initial_state()
+        h = p.heuristic(s)
+        for child in p.expand(s):
+            assert abs(p.heuristic(child) - h) == 1
+
+    @given(st.integers(0, 60), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_admissible_on_scrambles(self, k, seed):
+        # h <= true distance <= scramble length.
+        p = SlidingPuzzle.scrambled(3, k, rng=seed)
+        assert p.heuristic(p.initial_state()) <= k
+
+
+class TestSolvability:
+    def test_goal_solvable(self):
+        assert SlidingPuzzle(GOAL8).is_solvable()
+        assert SlidingPuzzle(GOAL15).is_solvable()
+
+    def test_swap_two_tiles_unsolvable(self):
+        tiles = list(GOAL8)
+        tiles[0], tiles[1] = tiles[1], tiles[0]
+        assert not SlidingPuzzle(tuple(tiles)).is_solvable()
+        tiles15 = list(GOAL15)
+        tiles15[0], tiles15[1] = tiles15[1], tiles15[0]
+        assert not SlidingPuzzle(tuple(tiles15)).is_solvable()
+
+    @given(st.integers(0, 80), st.integers(0, 50), st.sampled_from([3, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_scrambles_always_solvable(self, k, seed, side):
+        assert SlidingPuzzle.scrambled(side, k, rng=seed).is_solvable()
+
+    def test_moves_preserve_solvability(self):
+        p = SlidingPuzzle.scrambled(4, 30, rng=9)
+        for child in p.expand(p.initial_state()):
+            assert SlidingPuzzle(child.tiles).is_solvable()
+
+
+class TestScrambled:
+    def test_deterministic_given_seed(self):
+        a = SlidingPuzzle.scrambled(4, 40, rng=5)
+        b = SlidingPuzzle.scrambled(4, 40, rng=5)
+        assert a.tiles == b.tiles
+
+    def test_zero_moves_is_goal(self):
+        p = SlidingPuzzle.scrambled(3, 0, rng=0)
+        assert p.tiles == GOAL8
+
+
+class TestGoal:
+    def test_goal_ignores_prev_blank(self):
+        p = SlidingPuzzle(GOAL8)
+        assert p.is_goal(PuzzleState(GOAL8, 8, 5))
+        assert p.is_goal(PuzzleState(GOAL8, 8, -1))
+
+    def test_non_goal(self):
+        p = SlidingPuzzle(GOAL8)
+        s = p.expand(p.initial_state())[0]
+        assert not p.is_goal(s)

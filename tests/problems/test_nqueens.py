@@ -1,0 +1,53 @@
+import pytest
+
+from repro.problems.nqueens import NQueensProblem
+from repro.search.serial import depth_bounded_dfs
+
+
+class TestNQueens:
+    def test_initial_state_empty(self):
+        assert NQueensProblem(4).initial_state() == ()
+
+    def test_expand_filters_attacks(self):
+        p = NQueensProblem(4)
+        children = p.expand((0,))
+        # Column 0 occupied; column 1 attacked diagonally.
+        assert (0, 2) in children and (0, 3) in children
+        assert (0, 0) not in children and (0, 1) not in children
+
+    def test_expand_full_board_empty(self):
+        p = NQueensProblem(4)
+        assert p.expand((1, 3, 0, 2)) == []
+
+    def test_goal_requires_full_placement(self):
+        p = NQueensProblem(4)
+        assert p.is_goal((1, 3, 0, 2))
+        assert not p.is_goal((1, 3))
+
+    def test_heuristic_exact_depth(self):
+        p = NQueensProblem(6)
+        assert p.heuristic(()) == 6
+        assert p.heuristic((0, 2)) == 4
+
+    @pytest.mark.parametrize("n,count", [(1, 1), (2, 0), (3, 0), (4, 2), (8, 92)])
+    def test_known_solution_counts(self, n, count):
+        assert depth_bounded_dfs(NQueensProblem(n), n).solutions == count
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NQueensProblem(0)
+
+    def test_all_goals_valid(self):
+        p = NQueensProblem(5)
+        goals = []
+        stack = [p.initial_state()]
+        while stack:
+            s = stack.pop()
+            if p.is_goal(s):
+                goals.append(s)
+            stack.extend(p.expand(s))
+        for g in goals:
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert g[i] != g[j]
+                    assert abs(g[i] - g[j]) != j - i

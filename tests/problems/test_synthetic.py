@@ -1,0 +1,79 @@
+import pytest
+
+from repro.problems.synthetic import SyntheticTreeProblem
+from repro.search.serial import depth_bounded_dfs
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        a = SyntheticTreeProblem(7, max_branching=3, depth_limit=8)
+        b = SyntheticTreeProblem(7, max_branching=3, depth_limit=8)
+        assert a.count_nodes() == b.count_nodes()
+        assert a.initial_state() == b.initial_state()
+
+    def test_different_seed_different_tree(self):
+        sizes = {
+            SyntheticTreeProblem(s, max_branching=4, depth_limit=8).count_nodes()
+            for s in range(5)
+        }
+        assert len(sizes) > 1
+
+    def test_expand_is_pure(self):
+        t = SyntheticTreeProblem(3)
+        root = t.initial_state()
+        assert t.expand(root) == t.expand(root)
+
+
+class TestStructure:
+    def test_depth_limit_respected(self):
+        t = SyntheticTreeProblem(5, max_branching=4, depth_limit=3)
+        stack = [t.initial_state()]
+        while stack:
+            node = stack.pop()
+            assert node.depth <= 3
+            stack.extend(t.expand(node))
+
+    def test_root_branches_fully(self):
+        t = SyntheticTreeProblem(5, max_branching=4, depth_limit=5)
+        assert len(t.expand(t.initial_state())) == 4
+
+    def test_branching_bounded(self):
+        t = SyntheticTreeProblem(5, max_branching=3, depth_limit=6)
+        stack = [t.initial_state()]
+        while stack:
+            node = stack.pop()
+            children = t.expand(node)
+            assert len(children) <= 3
+            stack.extend(children)
+
+    def test_count_matches_dfs(self):
+        t = SyntheticTreeProblem(9, max_branching=4, depth_limit=9)
+        assert t.count_nodes() == depth_bounded_dfs(t, 9).expanded
+
+    def test_count_guard(self):
+        t = SyntheticTreeProblem(9, max_branching=4, depth_limit=9)
+        with pytest.raises(RuntimeError, match="max_nodes"):
+            t.count_nodes(max_nodes=3)
+
+
+class TestGoals:
+    def test_no_goals_by_default(self):
+        t = SyntheticTreeProblem(2, depth_limit=7)
+        assert depth_bounded_dfs(t, 7).solutions == 0
+
+    def test_goal_density_produces_goals(self):
+        t = SyntheticTreeProblem(2, max_branching=4, depth_limit=9, goal_density=0.05)
+        r = depth_bounded_dfs(t, 9)
+        assert r.solutions > 0
+        # Roughly 5% of nodes should be goals (loose band).
+        assert r.solutions < 0.2 * r.expanded
+
+    def test_root_never_goal(self):
+        t = SyntheticTreeProblem(2, goal_density=1.0)
+        assert not t.is_goal(t.initial_state())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTreeProblem(1, goal_density=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTreeProblem(1, depth_limit=0)

@@ -1,0 +1,95 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.problems.tsp import TSPProblem, TourState
+from repro.search.branch_and_bound import serial_dfbb
+
+
+def brute_force(p: TSPProblem) -> float:
+    best = np.inf
+    for perm in itertools.permutations(range(1, p.n)):
+        tour = (0,) + perm
+        cost = sum(p.d[tour[i], tour[i + 1]] for i in range(p.n - 1))
+        cost += p.d[tour[-1], 0]
+        best = min(best, cost)
+    return float(best)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSPProblem([[0, 1], [2, 0]])  # asymmetric
+        with pytest.raises(ValueError):
+            TSPProblem([[1, 1], [1, 0]])  # nonzero diagonal
+        with pytest.raises(ValueError):
+            TSPProblem([[0, -1], [-1, 0]])  # negative
+        with pytest.raises(ValueError):
+            TSPProblem([[0]])  # too small
+
+    def test_random_euclidean_properties(self):
+        p = TSPProblem.random_euclidean(8, rng=2)
+        assert p.n == 8
+        assert np.allclose(p.d, p.d.T)
+        assert np.all(np.diag(p.d) == 0)
+        # Triangle inequality holds for Euclidean instances.
+        for i, j, k in itertools.permutations(range(4), 3):
+            assert p.d[i, j] <= p.d[i, k] + p.d[k, j] + 1e-12
+
+
+class TestTree:
+    def test_root_tour(self):
+        p = TSPProblem.random_euclidean(5, rng=0)
+        root = p.initial_state()
+        assert root.tour == (0,) and root.cost == 0.0
+
+    def test_children_nearest_first(self):
+        p = TSPProblem.random_euclidean(6, rng=1)
+        children = p.expand(p.initial_state())
+        costs = [c.cost for c in children]
+        assert costs == sorted(costs)
+        assert len(children) == 5
+
+    def test_complete_tour_is_leaf(self):
+        p = TSPProblem.random_euclidean(4, rng=0)
+        full = TourState((0, 1, 2, 3), 1.0)
+        assert p.expand(full) == []
+        assert p.objective(full) == pytest.approx(1.0 + p.d[3, 0])
+
+    def test_bound_admissible(self):
+        p = TSPProblem.random_euclidean(7, rng=3)
+        opt = brute_force(p)
+        assert p.bound(p.initial_state()) <= opt + 1e-9
+
+    def test_bound_monotone_along_tree(self):
+        p = TSPProblem.random_euclidean(6, rng=5)
+        s = p.initial_state()
+        for child in p.expand(s):
+            assert p.bound(child) >= p.bound(s) - 1e-9
+
+
+class TestHeldKarp:
+    @pytest.mark.parametrize("n,seed", [(5, 0), (6, 1), (7, 2), (8, 3)])
+    def test_matches_brute_force(self, n, seed):
+        p = TSPProblem.random_euclidean(n, rng=seed)
+        assert p.solve_held_karp() == pytest.approx(brute_force(p))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            TSPProblem.random_euclidean(19, rng=0).solve_held_karp()
+
+
+class TestSerialDFBBOnTSP:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_dfbb_optimal(self, seed):
+        p = TSPProblem.random_euclidean(9, rng=seed)
+        result = serial_dfbb(p)
+        assert result.best_value == pytest.approx(p.solve_held_karp())
+
+    def test_pruning_beats_enumeration(self):
+        import math
+
+        p = TSPProblem.random_euclidean(10, rng=7)
+        result = serial_dfbb(p)
+        assert result.expanded < math.factorial(9)

@@ -1,0 +1,69 @@
+"""First-solution mode: the speedup-anomaly regime the paper avoids.
+
+Rao & Kumar [33] (cited in Sections 3 and 5): when the search stops at
+the first solution, parallel DFS can expand fewer (superlinear speedup)
+or more (deceleration) nodes than serial DFS.  These tests pin the
+machinery; the anomaly *measurements* live in
+``benchmarks/bench_anomalies.py``.
+"""
+
+import pytest
+
+from repro.problems.synthetic import SyntheticTreeProblem
+from repro.search.parallel import parallel_depth_bounded
+from repro.search.serial import depth_bounded_dfs
+
+
+def goal_tree(seed=21):
+    return SyntheticTreeProblem(
+        seed, max_branching=4, depth_limit=10, goal_density=0.001
+    )
+
+
+class TestSerialFirstSolution:
+    def test_stops_at_first_goal(self):
+        t = goal_tree()
+        full = depth_bounded_dfs(t, 10)
+        if full.solutions == 0:
+            pytest.skip("seed produced no goals")
+        first = depth_bounded_dfs(t, 10, first_solution_only=True)
+        assert first.solutions == 1
+        assert first.expanded <= full.expanded
+
+    def test_no_goal_equals_exhaustive(self):
+        t = SyntheticTreeProblem(5, max_branching=3, depth_limit=8)
+        full = depth_bounded_dfs(t, 8)
+        first = depth_bounded_dfs(t, 8, first_solution_only=True)
+        assert first.expanded == full.expanded
+
+
+class TestParallelFirstSolution:
+    def test_stops_at_cycle_boundary(self):
+        t = goal_tree()
+        wl, metrics = parallel_depth_bounded(
+            t, 10, 16, "GP-S0.75", first_solution_only=True
+        )
+        assert wl.solutions >= 1
+        # Never more expansions than the exhaustive parallel sweep.
+        full = depth_bounded_dfs(t, 10)
+        assert wl.expanded <= full.expanded
+
+    def test_exhaustive_when_no_goal(self):
+        t = SyntheticTreeProblem(5, max_branching=3, depth_limit=8)
+        serial = depth_bounded_dfs(t, 8)
+        wl, _ = parallel_depth_bounded(
+            t, 8, 16, "GP-S0.75", first_solution_only=True
+        )
+        assert wl.expanded == serial.expanded
+
+    def test_anomaly_ratio_varies_with_p(self):
+        # The point of the regime: parallel work is schedule-dependent.
+        t = goal_tree()
+        serial = depth_bounded_dfs(t, 10, first_solution_only=True)
+        ratios = set()
+        for n_pes in (1, 4, 16, 64):
+            wl, _ = parallel_depth_bounded(
+                t, 10, n_pes, "GP-S0.75", first_solution_only=True
+            )
+            ratios.add(round(wl.expanded / serial.expanded, 4))
+        assert len(ratios) > 1

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.problems.knapsack import KnapsackProblem
+from repro.problems.tsp import TSPProblem
+from repro.search.branch_and_bound import (
+    BnBWorkload,
+    ParallelDFBB,
+    serial_dfbb,
+)
+
+
+class TestSerialDFBB:
+    def test_no_solution_space(self):
+        # A knapsack always has the all-skip solution, so craft one: a
+        # TSP of 2 cities has exactly one tour.
+        p = TSPProblem([[0, 3], [3, 0]])
+        r = serial_dfbb(p)
+        assert r.best_value == pytest.approx(6.0)
+        assert r.incumbent_updates >= 1
+
+    def test_max_expansions_guard(self):
+        p = KnapsackProblem.random(20, rng=0)
+        with pytest.raises(RuntimeError):
+            serial_dfbb(p, max_expansions=3)
+
+    def test_expansion_count_reported(self):
+        p = KnapsackProblem.random(10, rng=0)
+        r = serial_dfbb(p)
+        assert 0 < r.expanded <= 2**11
+
+
+class TestBnBWorkload:
+    def test_root_on_pe_zero(self):
+        p = KnapsackProblem.random(8, rng=1)
+        wl = BnBWorkload(p, 4)
+        assert np.array_equal(wl.expanding_mask(), [True, False, False, False])
+
+    def test_validation(self):
+        p = KnapsackProblem.random(8, rng=1)
+        with pytest.raises(ValueError):
+            BnBWorkload(p, 4, broadcast_every=0)
+
+    def test_incumbent_visible_next_cycle(self):
+        # Craft a trivial problem where PE0 finds a solution in cycle k;
+        # the incumbent must appear at the following boundary.
+        p = KnapsackProblem([1], [1], 1)
+        wl = BnBWorkload(p, 2)
+        wl.expand_cycle()  # expand root -> take/skip leaves
+        assert wl.incumbent == p.worst_value()
+        wl.expand_cycle()  # take-leaf evaluated -> merged at boundary
+        assert wl.incumbent == 1.0
+
+    def test_delayed_broadcast(self):
+        p = KnapsackProblem([1], [1], 1)
+        wl = BnBWorkload(p, 2, broadcast_every=10)
+        wl.expand_cycle()
+        wl.expand_cycle()
+        assert wl.incumbent == p.worst_value()  # not merged yet
+        assert wl.best_value == 1.0  # final read merges
+
+    def test_transfer_moves_bottom(self):
+        p = KnapsackProblem.random(10, rng=2)
+        wl = BnBWorkload(p, 2)
+        wl.expand_cycle()
+        assert wl.busy_mask()[0]
+        assert wl.transfer(np.array([0]), np.array([1])) == 1
+        assert wl.expanding_mask()[1]
+
+    def test_transfer_shape_mismatch(self):
+        p = KnapsackProblem.random(10, rng=2)
+        wl = BnBWorkload(p, 2)
+        with pytest.raises(ValueError):
+            wl.transfer(np.array([0]), np.array([0, 1]))
+
+
+class TestParallelDFBB:
+    @pytest.mark.parametrize("spec", ["GP-S0.75", "nGP-S0.75", "GP-DK"])
+    def test_knapsack_optimal_under_any_scheme(self, spec):
+        p = KnapsackProblem.random(16, rng=3)
+        init = 0.85 if spec.endswith("DK") else None
+        r = ParallelDFBB(p, 8, spec, init_threshold=init).run()
+        assert r.best_value == p.solve_dp()
+
+    @pytest.mark.parametrize("n_pes", [1, 4, 32])
+    def test_tsp_optimal_across_machine_sizes(self, n_pes):
+        p = TSPProblem.random_euclidean(9, rng=4)
+        r = ParallelDFBB(p, n_pes, "GP-S0.75").run()
+        assert r.best_value == pytest.approx(p.solve_held_karp())
+
+    def test_single_pe_matches_serial_node_count(self):
+        # With one PE there is no anomaly: lock-step == serial order.
+        p = KnapsackProblem.random(14, rng=5)
+        serial = serial_dfbb(p)
+        par = ParallelDFBB(p, 1, "GP-S0.5").run()
+        assert par.best_value == serial.best_value
+        assert par.total_expanded == serial.expanded
+
+    def test_anomalies_exist_but_bounded(self):
+        # Parallel node counts may differ from serial (B&B anomalies),
+        # but stay within a sane factor for these instances.
+        p = TSPProblem.random_euclidean(10, rng=6)
+        serial = serial_dfbb(p)
+        par = ParallelDFBB(p, 16, "GP-S0.75").run()
+        ratio = par.total_expanded / serial.expanded
+        assert 0.05 < ratio < 20
+
+    def test_delayed_broadcast_never_loses_optimality(self):
+        p = KnapsackProblem.random(14, rng=7)
+        for k in (1, 5, 50):
+            r = ParallelDFBB(p, 8, "GP-S0.75", broadcast_every=k).run()
+            assert r.best_value == p.solve_dp(), f"broadcast_every={k}"
+
+    def test_delayed_broadcast_costs_expansions(self):
+        p = TSPProblem.random_euclidean(10, rng=8)
+        fresh = ParallelDFBB(p, 16, "GP-S0.75", broadcast_every=1).run()
+        stale = ParallelDFBB(p, 16, "GP-S0.75", broadcast_every=200).run()
+        assert stale.total_expanded >= fresh.total_expanded
+
+    def test_parallel_optimality_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(seed=st.integers(0, 300), n_pes=st.sampled_from([2, 8, 16]))
+        @settings(max_examples=20, deadline=None)
+        def check(seed, n_pes):
+            p = KnapsackProblem.random(12, rng=seed)
+            r = ParallelDFBB(p, n_pes, "GP-S0.75").run()
+            assert r.best_value == p.solve_dp()
+
+        check()
+
+    def test_metrics_ledger_consistent(self):
+        p = KnapsackProblem.random(12, rng=9)
+        r = ParallelDFBB(p, 8, "GP-S0.75").run()
+        m = r.metrics
+        assert m.total_work == r.total_expanded
+        assert 0 < m.efficiency <= 1

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.problems.nqueens import NQueensProblem
+from repro.problems.npuzzle import SlidingPuzzle
+from repro.problems.synthetic import SyntheticTreeProblem
+from repro.search.serial import depth_bounded_dfs
+
+
+class TestDepthBoundedDFS:
+    def test_goal_at_root(self):
+        p = SlidingPuzzle(tuple(list(range(1, 9)) + [0]), side=3)
+        r = depth_bounded_dfs(p, 0)
+        assert r.solutions == 1
+        assert r.expanded == 1
+        assert r.goal_depths == (0,)
+
+    def test_root_pruned_when_heuristic_exceeds_bound(self):
+        p = SlidingPuzzle.scrambled(3, 10, rng=0)
+        h = p.heuristic(p.initial_state())
+        r = depth_bounded_dfs(p, h - 1)
+        assert r.expanded == 0
+        assert r.next_bound == h
+
+    def test_next_bound_is_smallest_pruned_f(self):
+        p = SlidingPuzzle.scrambled(3, 12, rng=1)
+        h = p.heuristic(p.initial_state())
+        r = depth_bounded_dfs(p, h)
+        if r.solutions == 0:
+            # The 15-puzzle's f values share the parity of h: the next
+            # bound rises by exactly 2.
+            assert r.next_bound == h + 2
+
+    def test_exhaustive_tree_has_no_next_bound(self):
+        t = SyntheticTreeProblem(3, max_branching=3, depth_limit=6)
+        r = depth_bounded_dfs(t, 6)
+        assert r.next_bound is None
+        assert r.expanded == t.count_nodes()
+
+    def test_nqueens_counts(self):
+        # Classic solution counts: strong cross-check of the whole DFS.
+        for n, expected in [(4, 2), (5, 10), (6, 4), (7, 40), (8, 92)]:
+            r = depth_bounded_dfs(NQueensProblem(n), n)
+            assert r.solutions == expected, f"n={n}"
+
+    def test_goal_nodes_are_leaves(self):
+        # A goal must not be expanded further: total expansions of the
+        # n-queens tree equal internal nodes + goals.
+        n = 5
+        r = depth_bounded_dfs(NQueensProblem(n), n)
+        r2 = depth_bounded_dfs(NQueensProblem(n), n + 5)
+        assert r.expanded == r2.expanded  # deeper bound adds nothing
+
+    def test_max_expansions_guard(self):
+        t = SyntheticTreeProblem(3, max_branching=3, depth_limit=10)
+        with pytest.raises(RuntimeError, match="max_expansions"):
+            depth_bounded_dfs(t, 10, max_expansions=5)
+
+    def test_expansion_count_is_deterministic(self):
+        p = SlidingPuzzle.scrambled(3, 14, rng=5)
+        h = p.heuristic(p.initial_state())
+        a = depth_bounded_dfs(p, h + 4)
+        b = depth_bounded_dfs(p, h + 4)
+        assert a == b

@@ -1,0 +1,141 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.stack import DFSStack, StackEntry
+
+
+def entry(tag, g=0):
+    return StackEntry(state=tag, g=g)
+
+
+class TestBasics:
+    def test_empty_stack(self):
+        s = DFSStack()
+        assert s.is_empty()
+        assert s.node_count() == 0
+        assert not s.can_split()
+        assert s.pop_next() is None
+        assert s.split_bottom() is None
+
+    def test_seeded_stack(self):
+        s = DFSStack([entry("root")])
+        assert s.node_count() == 1
+        assert not s.can_split()
+
+    def test_push_empty_level_is_noop(self):
+        s = DFSStack([entry("a")])
+        s.push_level([])
+        assert s.depth() == 1
+
+
+class TestPopOrder:
+    def test_lifo_within_level(self):
+        s = DFSStack()
+        s.push_level([entry("a"), entry("b"), entry("c")])
+        assert s.pop_next().state == "c"
+        assert s.pop_next().state == "b"
+
+    def test_deepest_level_first(self):
+        s = DFSStack()
+        s.push_level([entry("shallow", 0)])
+        s.push_level([entry("deep", 1)])
+        assert s.pop_next().state == "deep"
+        assert s.pop_next().state == "shallow"
+
+    def test_empty_levels_trimmed(self):
+        s = DFSStack()
+        s.push_level([entry("a")])
+        s.push_level([entry("b")])
+        s.pop_next()
+        assert s.depth() == 1
+
+
+class TestSplitBottom:
+    def test_takes_shallowest(self):
+        s = DFSStack()
+        s.push_level([entry("root-alt", 0)])
+        s.push_level([entry("deep", 3)])
+        donated = s.split_bottom()
+        assert donated.state == "root-alt"
+        assert s.node_count() == 1
+
+    def test_takes_first_in_level(self):
+        s = DFSStack()
+        s.push_level([entry("first"), entry("second")])
+        assert s.split_bottom().state == "first"
+
+    def test_refuses_single_node(self):
+        s = DFSStack([entry("only")])
+        assert s.split_bottom() is None
+        assert s.node_count() == 1
+
+    def test_trims_emptied_bottom_level(self):
+        s = DFSStack()
+        s.push_level([entry("a", 0)])
+        s.push_level([entry("b", 1), entry("c", 1)])
+        s.split_bottom()
+        assert s.depth() == 1
+        assert s.node_count() == 2
+
+
+class TestSplitHalf:
+    def test_donates_half(self):
+        s = DFSStack()
+        s.push_level([entry(i) for i in range(6)])
+        donated = s.split_half()
+        assert len(donated) == 3
+        assert s.node_count() == 3
+
+    def test_refuses_single_node(self):
+        assert DFSStack([entry("x")]).split_half() == []
+
+    def test_keeps_at_least_one(self):
+        s = DFSStack()
+        s.push_level([entry("a"), entry("b")])
+        donated = s.split_half()
+        assert len(donated) == 1
+        assert s.node_count() == 1
+
+    def test_takes_from_bottom_levels_first(self):
+        s = DFSStack()
+        s.push_level([entry("low1"), entry("low2")])
+        s.push_level([entry("hi1"), entry("hi2")])
+        donated = s.split_half()
+        assert [e.state for e in donated] == ["low1", "low2"]
+
+
+class TestCountInvariant:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(0, 4)),
+                st.tuples(st.just("pop"), st.just(0)),
+                st.tuples(st.just("split"), st.just(0)),
+                st.tuples(st.just("half"), st.just(0)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_node_count_tracks_contents(self, ops):
+        s = DFSStack()
+        uid = 0
+        expected = 0
+        for op, arg in ops:
+            if op == "push":
+                s.push_level([entry(uid + i) for i in range(arg)])
+                uid += arg
+                expected += arg
+            elif op == "pop":
+                if s.pop_next() is not None:
+                    expected -= 1
+            elif op == "split":
+                if s.split_bottom() is not None:
+                    expected -= 1
+            else:
+                expected -= len(s.split_half())
+            assert s.node_count() == expected
+            assert s.is_empty() == (expected == 0)
+            if expected > 0:
+                assert s.depth() >= 1

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.simd.cost import CostModel
+from repro.simd.topology import HypercubeTopology
+
+
+class TestCostModel:
+    def test_default_matches_paper_ratio(self):
+        # Section 5: 30 ms node expansion, 13 ms load balancing phase.
+        cost = CostModel()
+        assert cost.u_calc == pytest.approx(0.030)
+        assert cost.lb_phase_time(8192) == pytest.approx(0.013)
+        assert cost.lb_ratio(8192) == pytest.approx(13.0 / 30.0)
+
+    def test_multiplier_scales_transfer_only(self):
+        base = CostModel()
+        inflated = base.with_lb_multiplier(16.0)
+        assert inflated.transfer_time(64) == pytest.approx(16 * base.transfer_time(64))
+        assert inflated.scan_time(64) == base.scan_time(64)
+
+    def test_lb_phase_rounds(self):
+        cost = CostModel()
+        one = cost.lb_phase_time(64, transfer_rounds=1)
+        three = cost.lb_phase_time(64, transfer_rounds=3)
+        assert three == pytest.approx(one + 2 * cost.transfer_time(64))
+
+    def test_setup_scans_override(self):
+        cost = CostModel()
+        gp = cost.lb_phase_time(64, setup_scans=3)
+        ngp = cost.lb_phase_time(64, setup_scans=2)
+        assert gp - ngp == pytest.approx(cost.scan_time(64))
+
+    def test_zero_rounds_costs_setup_only(self):
+        cost = CostModel()
+        assert cost.lb_phase_time(64, transfer_rounds=0) == pytest.approx(
+            cost.setup_scans * cost.scan_time(64)
+        )
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().lb_phase_time(64, transfer_rounds=-1)
+
+    def test_negative_setup_scans_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().lb_phase_time(64, setup_scans=-1)
+
+    def test_hypercube_lb_grows_with_p(self):
+        cost = CostModel(topology=HypercubeTopology())
+        assert cost.lb_phase_time(4096) > cost.lb_phase_time(64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(u_calc=0.0)
+        with pytest.raises(ValueError):
+            CostModel(lb_cost_multiplier=0.0)
+        with pytest.raises(ValueError):
+            CostModel(setup_scans=0)

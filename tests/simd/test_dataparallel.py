@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.matching import GPMatcher
+from repro.simd.dataparallel import ParallelVM, gp_match_on_vm
+
+
+class TestContext:
+    def test_root_context_all_active(self):
+        vm = ParallelVM(4)
+        assert vm.active.all()
+
+    def test_where_nests_with_and(self):
+        vm = ParallelVM(4)
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        b = np.array([1, 0, 1, 0], dtype=bool)
+        with vm.where(a):
+            with vm.where(b):
+                assert np.array_equal(vm.active, [True, False, False, False])
+            assert np.array_equal(vm.active, a)
+        assert vm.active.all()
+
+    def test_context_restored_on_exception(self):
+        vm = ParallelVM(4)
+        with pytest.raises(RuntimeError):
+            with vm.where(np.zeros(4, dtype=bool)):
+                raise RuntimeError("boom")
+        assert vm.active.all()
+
+    def test_bad_mask_shape(self):
+        vm = ParallelVM(4)
+        with pytest.raises(ValueError):
+            vm.where(np.ones(3, dtype=bool)).__enter__()
+
+
+class TestAssignment:
+    def test_masked_store(self):
+        vm = ParallelVM(4)
+        x = vm.pvar(0)
+        with vm.where(np.array([1, 0, 1, 0], dtype=bool)):
+            vm.assign(x, 7)
+        assert np.array_equal(x, [7, 0, 7, 0])
+
+    def test_iota(self):
+        assert np.array_equal(ParallelVM(3).iota(), [0, 1, 2])
+
+
+class TestCollectives:
+    def test_scan_add_over_active(self):
+        vm = ParallelVM(5)
+        values = np.array([1, 2, 3, 4, 5])
+        with vm.where(np.array([1, 0, 1, 0, 1], dtype=bool)):
+            out = vm.scan_add(values)
+        # Active PEs 0,2,4 see exclusive sums 0,1,4.
+        assert out[0] == 0 and out[2] == 1 and out[4] == 4
+
+    def test_enumerate_active(self):
+        vm = ParallelVM(5)
+        with vm.where(np.array([0, 1, 0, 1, 1], dtype=bool)):
+            ranks = vm.enumerate_active()
+        assert np.array_equal(ranks, [-1, 0, -1, 1, 2])
+
+    def test_reduce_add(self):
+        vm = ParallelVM(4)
+        with vm.where(np.array([1, 1, 0, 0], dtype=bool)):
+            assert vm.reduce_add(np.array([10, 20, 30, 40])) == 30
+
+    def test_reduce_max_identity(self):
+        vm = ParallelVM(3)
+        with vm.where(np.zeros(3, dtype=bool)):
+            assert vm.reduce_max(np.array([5, 6, 7]), identity=-1) == -1
+
+    def test_collective_counters(self):
+        vm = ParallelVM(4)
+        vm.scan_add(vm.pvar(1))
+        vm.reduce_add(vm.pvar(1))
+        assert vm.scan_count == 1 and vm.reduce_count == 1
+
+
+class TestSend:
+    def test_routes_active_values(self):
+        vm = ParallelVM(4)
+        values = np.array([10, 20, 30, 40])
+        dest = np.array([3, 2, 1, 0])
+        with vm.where(np.array([1, 1, 0, 0], dtype=bool)):
+            out = vm.send(values, dest, default=-1)
+        assert np.array_equal(out, [-1, -1, 20, 10])
+
+    def test_collision_rejected(self):
+        vm = ParallelVM(3)
+        with pytest.raises(ValueError, match="collision"):
+            vm.send(np.array([1, 2, 3]), np.array([0, 0, 1]))
+
+    def test_out_of_range_rejected(self):
+        vm = ParallelVM(2)
+        with pytest.raises(ValueError, match="range"):
+            vm.send(np.array([1, 2]), np.array([0, 5]))
+
+
+class TestGPMatchEquivalence:
+    """The paper's matching step, expressed in machine ops, must agree
+    with the direct implementation for any masks and pointer."""
+
+    @given(
+        n=st.integers(2, 64),
+        seed=st.integers(0, 500),
+        use_pointer=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_gpmatcher(self, n, seed, use_pointer):
+        rng = np.random.default_rng(seed)
+        busy = rng.random(n) < 0.5
+        idle = ~busy & (rng.random(n) < 0.7)
+        pointer = int(rng.integers(0, n)) if use_pointer else None
+
+        matcher = GPMatcher(pointer=pointer)
+        ref = matcher.match(busy, idle)
+        donors, receivers, new_ptr = gp_match_on_vm(busy, idle, pointer)
+
+        assert np.array_equal(donors, ref.donors)
+        assert np.array_equal(receivers, ref.receivers)
+        if len(ref.donors) > 0:
+            assert new_ptr == matcher.pointer
+        else:
+            assert new_ptr == pointer
+
+    def test_figure2_example(self):
+        busy = np.array([1, 1, 1, 1, 1, 0, 0, 1], dtype=bool)
+        donors, receivers, ptr = gp_match_on_vm(busy, ~busy, 4)
+        assert np.array_equal(donors, [7, 0])
+        assert np.array_equal(receivers, [5, 6])
+        assert ptr == 0

@@ -1,0 +1,78 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine, TimeLedger
+
+
+class TestTimeLedger:
+    def test_fresh_ledger_perfect_efficiency(self):
+        assert TimeLedger().efficiency() == 1.0
+
+    def test_efficiency_formula(self):
+        ledger = TimeLedger(t_calc=80.0, t_idle=15.0, t_lb=5.0, elapsed=1.0)
+        assert ledger.efficiency() == pytest.approx(0.80)
+
+    def test_speedup(self):
+        ledger = TimeLedger(t_calc=100.0, elapsed=10.0)
+        assert ledger.speedup(64) == pytest.approx(10.0)
+
+    def test_speedup_zero_elapsed(self):
+        assert TimeLedger().speedup(8) == 8.0
+
+
+class TestSimdMachine:
+    def test_expansion_cycle_accounting(self):
+        m = SimdMachine(10, CostModel(u_calc=1.0))
+        m.charge_expansion_cycle(7)
+        assert m.ledger.t_calc == pytest.approx(7.0)
+        assert m.ledger.t_idle == pytest.approx(3.0)
+        assert m.ledger.elapsed == pytest.approx(1.0)
+        assert m.n_cycles == 1
+
+    def test_lb_phase_accounting(self):
+        m = SimdMachine(10, CostModel())
+        dt = m.charge_lb_phase(transfer_rounds=2, n_transfers=5)
+        assert m.ledger.t_lb == pytest.approx(10 * dt)
+        assert m.n_lb_phases == 1
+        assert m.n_transfers == 5
+
+    def test_custom_phase(self):
+        m = SimdMachine(4, CostModel())
+        m.charge_custom_phase(0.5, n_transfers=2)
+        assert m.ledger.t_lb == pytest.approx(2.0)
+        assert m.n_transfers == 2
+
+    def test_custom_phase_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimdMachine(4, CostModel()).charge_custom_phase(-0.1)
+
+    def test_out_of_range_expanding_rejected(self):
+        m = SimdMachine(4, CostModel())
+        with pytest.raises(ValueError):
+            m.charge_expansion_cycle(5)
+        with pytest.raises(ValueError):
+            m.charge_expansion_cycle(-1)
+
+    def test_nonpositive_pes_rejected(self):
+        with pytest.raises(ValueError):
+            SimdMachine(0, CostModel())
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["cycle", "lb"]), st.integers(0, 16)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_time_identity_always_holds(self, events):
+        # P * T_par == T_calc + T_idle + T_lb after any event sequence.
+        m = SimdMachine(16, CostModel())
+        for kind, arg in events:
+            if kind == "cycle":
+                m.charge_expansion_cycle(arg)
+            else:
+                m.charge_lb_phase(transfer_rounds=arg % 4, n_transfers=arg)
+        assert m.check_time_identity()

@@ -1,0 +1,62 @@
+import math
+
+import pytest
+
+from repro.simd.topology import CM2Topology, HypercubeTopology, MeshTopology, Topology
+
+
+class TestCM2Topology:
+    def test_constant_in_p(self):
+        t = CM2Topology()
+        assert t.scan_time(16) == t.scan_time(65536)
+        assert t.transfer_time(16) == t.transfer_time(65536)
+
+    def test_scan_cheaper_than_transfer(self):
+        t = CM2Topology()
+        assert t.scan_time(1024) < t.transfer_time(1024)
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ValueError):
+            CM2Topology(scan_cost=0.0)
+        with pytest.raises(ValueError):
+            CM2Topology(transfer_cost=-1.0)
+
+    def test_rejects_bad_pe_count(self):
+        with pytest.raises(ValueError):
+            CM2Topology().scan_time(0)
+
+
+class TestHypercubeTopology:
+    def test_scan_grows_log(self):
+        t = HypercubeTopology()
+        assert t.scan_time(256) == pytest.approx(2 * t.scan_time(16))
+
+    def test_transfer_grows_log_squared(self):
+        t = HypercubeTopology()
+        assert t.transfer_time(256) == pytest.approx(4 * t.transfer_time(16))
+
+    def test_single_pe_floor(self):
+        t = HypercubeTopology()
+        assert t.scan_time(1) == t.scan_hop_cost
+
+
+class TestMeshTopology:
+    def test_sqrt_growth(self):
+        t = MeshTopology()
+        assert t.scan_time(400) == pytest.approx(2 * t.scan_time(100))
+        assert t.transfer_time(400) == pytest.approx(2 * t.transfer_time(100))
+
+    def test_mesh_slower_than_hypercube_at_scale(self):
+        mesh = MeshTopology()
+        cube = HypercubeTopology()
+        p = 2**20
+        assert mesh.transfer_time(p) > cube.transfer_time(p)
+
+
+class TestBase:
+    def test_abstract_methods_raise(self):
+        t = Topology()
+        with pytest.raises(NotImplementedError):
+            t.scan_time(4)
+        with pytest.raises(NotImplementedError):
+            t.transfer_time(4)

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.cli import main
+
+
+class TestSchemes:
+    def test_lists_registry(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "GP-DK" in out and "nGP-DP" in out
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        assert main(["run", "GP-S0.8", "--work", "5000", "--pes", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "W=5000" in out and "efficiency=" in out
+
+    def test_lb_multiplier(self, capsys):
+        main(["run", "GP-DK", "--work", "5000", "--pes", "32", "--lb-mult", "8"])
+        assert "GP-DK" in capsys.readouterr().out
+
+    def test_bad_scheme_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "XX-S0.5", "--work", "100", "--pes", "4"])
+
+
+class TestSolve:
+    def test_puzzle(self, capsys):
+        assert main(
+            ["solve", "puzzle", "--size", "14", "--pes", "8", "--scheme", "GP-S0.75"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal cost=" in out
+
+    def test_queens(self, capsys):
+        assert main(["solve", "queens", "--size", "6", "--pes", "4"]) == 0
+        assert "solutions=4" in capsys.readouterr().out
+
+    def test_knapsack(self, capsys):
+        assert main(["solve", "knapsack", "--size", "14", "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum=" in out and "DP check" in out
+
+    def test_tsp(self, capsys):
+        assert main(["solve", "tsp", "--size", "8", "--pes", "8"]) == 0
+        assert "optimum=" in capsys.readouterr().out
+
+    def test_coloring(self, capsys):
+        assert main(["solve", "coloring", "--size", "8", "--pes", "8"]) == 0
+        assert "proper colorings" in capsys.readouterr().out
+
+    def test_rejects_unknown_problem(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "sudoku"])
+
+
+class TestXo:
+    def test_prints_trigger(self, capsys):
+        assert main(["xo", "--work", "941852", "--pes", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "x_o = 0.81" in out  # the Table 2 value
+
+
+class TestGridIsoeff:
+    def test_grid_then_isoeff(self, tmp_path, capsys):
+        store = tmp_path / "grid.json"
+        assert main(
+            [
+                "grid", str(store),
+                "--schemes", "GP-S0.85",
+                "--works", "5000", "20000", "80000",
+                "--pes", "16", "32",
+            ]
+        ) == 0
+        assert store.exists()
+        capsys.readouterr()
+        assert main(["isoeff", str(store), "--target", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "GP-S0.85" in out
+
+    def test_isoeff_unknown_scheme(self, tmp_path):
+        store = tmp_path / "grid.json"
+        main(["grid", str(store), "--works", "2000", "--pes", "8"])
+        with pytest.raises(ValueError, match="not in store"):
+            main(["isoeff", str(store), "--scheme", "nGP-DP"])
+
+    def test_isoeff_unbracketed_target(self, tmp_path, capsys):
+        store = tmp_path / "grid.json"
+        main(["grid", str(store), "--works", "2000", "--pes", "8"])
+        capsys.readouterr()
+        assert main(["isoeff", str(store), "--target", "0.999"]) == 0
+        assert "not bracketed" in capsys.readouterr().out
+
+
+class TestTableFigure:
+    def test_table1(self, capsys):
+        assert main(["table", "1", "--scale", "tiny"]) == 0
+        assert "GP-DK" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table", "6"]) == 0
+        assert "O(P log P)" in capsys.readouterr().out
+
+    def test_table_out(self, tmp_path, capsys):
+        assert main(["table", "6", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table6.txt").exists()
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1", "--scale", "tiny"]) == 0
+        assert "R1" in capsys.readouterr().out
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

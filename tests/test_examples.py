@@ -1,0 +1,37 @@
+"""Examples stay importable and the fast ones actually run."""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute inside the test suite.
+FAST = ["matching_walkthrough.py", "optimal_trigger_tuning.py"]
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3, "the deliverable requires >= 3 examples"
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("name", FAST)
+    def test_fast_examples_run(self, name, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} produced no output"
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_has_module_docstring(self, path):
+        first = path.read_text().lstrip().splitlines()
+        text = "\n".join(first[:5])
+        assert '"""' in text, f"{path.name} lacks a module docstring"

@@ -1,0 +1,51 @@
+"""The public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.simd",
+    "repro.core",
+    "repro.search",
+    "repro.problems",
+    "repro.workmodel",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.util",
+    "repro.cli",
+]
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackages_import(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_dunder_all_has_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_every_public_item_documented(self):
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_quickstart_snippet_runs(self):
+        # The README's first snippet, verbatim semantics at small scale.
+        metrics = repro.run_divisible("GP-S0.90", total_work=50_000, n_pes=128, seed=42)
+        assert 0 < metrics.efficiency <= 1

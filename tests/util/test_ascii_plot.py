@@ -1,0 +1,49 @@
+import pytest
+
+from repro.util.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            {"a": [(0, 0), (1, 1), (2, 4)]}, width=40, height=10, title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in out  # legend with first marker
+        assert "x: x   y: y" in out
+
+    def test_markers_distinct_per_series(self):
+        out = ascii_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o a" in out and "x b" in out
+
+    def test_log_axes(self):
+        out = ascii_plot(
+            {"curve": [(10, 100), (100, 10000)]}, logx=True, logy=True
+        )
+        assert "1e+04" in out or "10000" in out or "1e+4" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"a": [(0, 1)]}, logx=True)
+
+    def test_constant_series_padded(self):
+        out = ascii_plot({"flat": [(1, 5), (2, 5)]})
+        assert "flat" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 0)]}, width=4, height=2)
+
+    def test_points_land_in_grid(self):
+        out = ascii_plot({"a": [(0, 0), (10, 10)]}, width=20, height=8)
+        # Corner points: a marker at bottom-left and top-right rows.
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert "o" in rows[0]
+        assert "o" in rows[-1]

@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_child
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, 10)
+        b = as_generator(42).integers(0, 1_000_000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, 10)
+        b = as_generator(2).integers(0, 1_000_000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator_identity(self):
+        g = np.random.default_rng(7)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_pure_function_of_seed_and_index(self):
+        a = spawn_child(5, 3).integers(0, 1_000_000, 5)
+        b = spawn_child(5, 3).integers(0, 1_000_000, 5)
+        assert np.array_equal(a, b)
+
+    def test_children_independent(self):
+        a = spawn_child(5, 0).integers(0, 1_000_000, 5)
+        b = spawn_child(5, 1).integers(0, 1_000_000, 5)
+        assert not np.array_equal(a, b)
+
+    def test_order_independent(self):
+        # Drawing child 7 first or last must not change its stream.
+        first = spawn_child(9, 7).integers(0, 1_000_000, 5)
+        for i in range(7):
+            spawn_child(9, i)
+        again = spawn_child(9, 7).integers(0, 1_000_000, 5)
+        assert np.array_equal(first, again)

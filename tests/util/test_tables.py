@@ -1,0 +1,37 @@
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All lines align to the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_none_renders_dash(self):
+        out = format_table(["a"], [[None]])
+        assert out.splitlines()[-1].strip() == "-"
+
+    def test_formats_applied(self):
+        out = format_table(["e"], [[0.123456]], formats=[".2f"])
+        assert "0.12" in out
+        assert "0.1234" not in out
+
+    def test_string_cells_bypass_format(self):
+        out = format_table(["e"], [["raw"]], formats=[".2f"])
+        assert "raw" in out
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_formats_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="formats"):
+            format_table(["a"], [[1]], formats=[None, None])

@@ -1,0 +1,52 @@
+import pytest
+
+from repro.util.validation import check_positive, check_positive_int, check_probability
+
+
+class TestCheckProbability:
+    def test_accepts_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_bounds_exclusive(self):
+        with pytest.raises(ValueError, match="p"):
+            check_probability(0.0, "p", inclusive=False)
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p", inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="alpha_min"):
+            check_probability(2.0, "alpha_min")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "v") == 0.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "v")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "v")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_positive_int(2.5, "n")
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(4.0, "n") == 4

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.splitting import HalfSplitter
+from repro.workmodel.divisible import DivisibleWorkload
+
+
+class TestConstruction:
+    def test_root_initial_distribution(self):
+        wl = DivisibleWorkload(100, 8)
+        assert wl.work[0] == 100
+        assert wl.work[1:].sum() == 0
+
+    def test_uniform_initial_distribution(self):
+        wl = DivisibleWorkload(10, 4, initial="uniform")
+        assert wl.work.sum() == 10
+        assert wl.work.max() - wl.work.min() <= 1
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            DivisibleWorkload(10, 4, initial="weird")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            DivisibleWorkload(0, 4)
+        with pytest.raises(ValueError):
+            DivisibleWorkload(10, 0)
+
+
+class TestMasks:
+    def test_mask_definitions(self):
+        wl = DivisibleWorkload(10, 4)
+        wl.work[:] = [0, 1, 2, 5]
+        assert np.array_equal(wl.expanding_mask(), [False, True, True, True])
+        assert np.array_equal(wl.busy_mask(), [False, False, True, True])
+        assert np.array_equal(wl.idle_mask(), [True, False, False, False])
+
+
+class TestExpandCycle:
+    def test_consumes_one_per_active(self):
+        wl = DivisibleWorkload(10, 4)
+        wl.work[:] = [3, 0, 1, 2]
+        n = wl.expand_cycle()
+        assert n == 3
+        assert np.array_equal(wl.work, [2, 0, 0, 1])
+
+    def test_exact_total_consumption(self):
+        wl = DivisibleWorkload(1000, 8, rng=0)
+        cycles = 0
+        while not wl.done():
+            wl.expand_cycle()
+            cycles += 1
+            assert cycles < 10_000
+        assert wl.total_expanded() == 1000
+        assert wl.total_remaining() == 0
+
+
+class TestTransfer:
+    def test_half_split(self):
+        wl = DivisibleWorkload(100, 4, splitter=HalfSplitter(), rng=0)
+        wl.work[:] = [10, 0, 0, 0]
+        moved = wl.transfer(np.array([0]), np.array([1]))
+        assert moved == 1
+        assert np.array_equal(wl.work, [5, 5, 0, 0])
+
+    def test_skips_invalid_donor(self):
+        wl = DivisibleWorkload(100, 4, rng=0)
+        wl.work[:] = [1, 0, 0, 0]
+        assert wl.transfer(np.array([0]), np.array([1])) == 0
+
+    def test_empty_transfer(self):
+        wl = DivisibleWorkload(100, 4)
+        assert wl.transfer(np.array([], dtype=int), np.array([], dtype=int)) == 0
+
+    def test_shape_mismatch_rejected(self):
+        wl = DivisibleWorkload(100, 4)
+        with pytest.raises(ValueError):
+            wl.transfer(np.array([0]), np.array([1, 2]))
+
+    @given(st.integers(10, 5000), st.integers(2, 32), st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_under_random_schedule(self, work, n_pes, seed):
+        rng = np.random.default_rng(seed)
+        wl = DivisibleWorkload(work, n_pes, rng=seed)
+        guard = 0
+        while not wl.done():
+            guard += 1
+            assert guard < work + 10
+            wl.expand_cycle()
+            assert wl.check_conservation()
+            busy = np.flatnonzero(wl.busy_mask())
+            idle = np.flatnonzero(wl.idle_mask())
+            k = min(len(busy), len(idle))
+            if k > 0 and rng.random() < 0.5:
+                wl.transfer(rng.permutation(busy)[:k], rng.permutation(idle)[:k])
+                assert wl.check_conservation()
+        assert wl.total_expanded() == work

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.core.triggering import DKTrigger, DPTrigger, StaticTrigger
+from repro.workmodel.profiles import cliff_profile, gradual_profile, trigger_fire_cycle
+
+
+class TestGradualProfile:
+    def test_starts_at_p_ends_at_floor(self):
+        prof = gradual_profile(100, 50)
+        assert prof[0] == 100
+        assert prof[-1] == 1
+
+    def test_monotone_nonincreasing(self):
+        prof = gradual_profile(256, 200)
+        assert np.all(np.diff(prof) <= 0)
+
+    def test_concave_shape(self):
+        # Figure 5a: the decay accelerates (early losses are small).
+        prof = gradual_profile(1000, 100).astype(float)
+        first_half_drop = prof[0] - prof[50]
+        second_half_drop = prof[50] - prof[-1]
+        assert second_half_drop > first_half_drop
+
+
+class TestCliffProfile:
+    def test_collapses_to_tail(self):
+        prof = cliff_profile(1000, 200, cliff_at=0.1, tail_active=2)
+        assert prof[0] == 1000
+        assert np.all(prof[20:] == 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cliff_profile(10, 10, cliff_at=0.0)
+        with pytest.raises(ValueError):
+            cliff_profile(10, 10, tail_active=11)
+
+
+class TestTriggerFireCycle:
+    def test_static_fires_at_threshold_crossing(self):
+        prof = gradual_profile(100, 100)
+        fire = trigger_fire_cycle(StaticTrigger(x=0.5), prof)
+        assert fire is not None
+        assert prof[fire] <= 50
+        assert fire == 0 or prof[fire - 1] > 50
+
+    def test_dp_prompt_on_gradual(self):
+        prof = gradual_profile(1024, 2000)
+        fire = trigger_fire_cycle(DPTrigger(initial_lb_cost=0.013), prof)
+        assert fire is not None
+        assert prof[fire] > 0.5 * 1024  # fires while most PEs still active
+
+    def test_dp_never_fires_on_cliff_with_high_lb_cost(self):
+        # Section 6.1 observation 3: once one PE is active, R1 stops
+        # growing, so any L exceeding the cliff's area (here ~1.5e3
+        # processor-seconds) starves D_P forever.
+        prof = cliff_profile(1024, 2000, cliff_at=0.05, tail_active=1)
+        fire = trigger_fire_cycle(DPTrigger(initial_lb_cost=5000.0), prof)
+        assert fire is None
+
+    def test_dk_always_fires_on_cliff(self):
+        prof = cliff_profile(1024, 2000, cliff_at=0.05, tail_active=1)
+        fire = trigger_fire_cycle(DKTrigger(initial_lb_cost=0.013), prof)
+        assert fire is not None
+
+    def test_dk_fires_later_when_lb_expensive(self):
+        prof = cliff_profile(1024, 5000, cliff_at=0.05)
+        cheap = trigger_fire_cycle(DKTrigger(initial_lb_cost=0.013), prof)
+        dear = trigger_fire_cycle(DKTrigger(initial_lb_cost=0.13), prof)
+        assert cheap is not None and dear is not None
+        assert dear > cheap
