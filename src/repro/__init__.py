@@ -69,6 +69,8 @@ from repro.analysis import (
     growth_exponent,
 )
 from repro.experiments.runner import run_divisible, run_grid, PAPER_SCALE, SMALL_SCALE
+from repro.lint import Finding, LintResult, run_lint
+from repro.lint.runtime import SanitizerError
 
 __version__ = "1.0.0"
 
@@ -116,5 +118,9 @@ __all__ = [
     "run_grid",
     "PAPER_SCALE",
     "SMALL_SCALE",
+    "Finding",
+    "LintResult",
+    "run_lint",
+    "SanitizerError",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Commands:
   / tsp) with parallel search on the simulated machine.
 - ``xo`` — the Equation 18 optimal static trigger for a configuration.
 - ``table`` / ``figure`` — regenerate a paper table or figure.
+- ``lint`` — the SIMD-discipline static checks (rules R001-R004).
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI scripts cleanly.
@@ -100,6 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--results", default="results", help="artifacts directory")
     report.add_argument("--out", default=None, help="write the report here")
+
+    lint = sub.add_parser(
+        "lint", help="SIMD-discipline static checks (rules R001-R004)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument(
+        "--format", dest="fmt", choices=["text", "json"], default="text"
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule subset, e.g. R001,R004 (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
 
     return parser
 
@@ -301,6 +320,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, exit_code, render_json, render_text, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    subset = (
+        [token.strip() for token in args.rules.split(",") if token.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        result = run_lint(args.paths, rules=subset)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.fmt == "json" else render_text(result))
+    return exit_code(result)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -315,6 +355,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "grid": lambda: _cmd_grid(args),
         "isoeff": lambda: _cmd_isoeff(args),
         "report": lambda: _cmd_report(args),
+        "lint": lambda: _cmd_lint(args),
     }
     return handlers[args.command]()
 

@@ -25,7 +25,8 @@ from repro.core.config import Scheme, make_scheme
 from repro.core.interfaces import Workload
 from repro.core.matching import Matcher
 from repro.core.metrics import RunMetrics, Trace
-from repro.core.triggering import Trigger, TriggerState
+from repro.core.triggering import DKTrigger, Trigger, TriggerState
+from repro.lint.runtime import SchedulerSanitizer
 from repro.simd.machine import SimdMachine
 
 __all__ = ["Scheduler"]
@@ -62,6 +63,14 @@ class Scheduler:
         into its measured 30 ms cycle (scans are nearly free on the
         CM-2); on a mesh or hypercube the per-cycle collective is a real
         cost, and this switch prices it (ablation).
+    sanitize:
+        If true, assert the lock-step invariants on every cycle and
+        transfer round (disjoint/exhaustive masks, strict idle decrease
+        per LB round, GP pointer in ``[0, P)``, the D_K idle bound, the
+        ledger time identity).  Violations raise
+        :class:`~repro.lint.runtime.SanitizerError`.  The matcher and
+        trigger built for the run are exposed as ``self.matcher`` /
+        ``self.trigger`` for introspection and fault-injection tests.
     """
 
     workload: Workload
@@ -71,8 +80,14 @@ class Scheduler:
     trace: bool = False
     max_cycles: int | None = None
     charge_collectives: bool = False
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
+        self.matcher: Matcher | None = None
+        self.trigger: Trigger | None = None
+        self._sanitizer = (
+            SchedulerSanitizer(self.machine.n_pes) if self.sanitize else None
+        )
         if isinstance(self.scheme, str):
             self.scheme = make_scheme(self.scheme)
         if self.workload.n_pes != self.machine.n_pes:
@@ -93,6 +108,7 @@ class Scheduler:
         assert isinstance(scheme, Scheme)
         initial_lb_cost = self.machine.cost.lb_phase_time(self.machine.n_pes)
         matcher, trigger = scheme.build(initial_lb_cost)
+        self.matcher, self.trigger = matcher, trigger
         trace = Trace() if self.trace else None
 
         n_init_lb = 0
@@ -102,12 +118,15 @@ class Scheduler:
         trigger.start_phase()
         while not self.workload.done() and not self._cycle_cap_hit():
             state = self._expand_and_observe()
+            self._sanity_cycle(matcher)
             if self.workload.done():
                 self._record_cycle(trace, state, trigger)
                 break
             fire = trigger.after_cycle(state)
             self._record_cycle(trace, state, trigger)
             if fire:
+                if self._sanitizer is not None and isinstance(trigger, DKTrigger):
+                    self._sanitizer.check_dk_fire(trigger, state)
                 self._maybe_balance(matcher, trigger, trace)
 
         return RunMetrics(
@@ -126,6 +145,19 @@ class Scheduler:
 
     def _cycle_cap_hit(self) -> bool:
         return self.max_cycles is not None and self.machine.n_cycles >= self.max_cycles
+
+    def _sanity_cycle(self, matcher: Matcher) -> None:
+        """Sanitize-mode invariants checked after every expansion cycle."""
+        sanitizer = self._sanitizer
+        if sanitizer is None:
+            return
+        sanitizer.check_masks(
+            self.workload.busy_mask(),
+            self.workload.idle_mask(),
+            self.workload.expanding_mask(),
+        )
+        sanitizer.check_pointer(matcher)
+        sanitizer.check_time_identity(self.machine)
 
     def _expand_and_observe(self) -> TriggerState:
         expanding = self.workload.expand_cycle()
@@ -162,15 +194,25 @@ class Scheduler:
             trigger.start_phase()
             return False
 
+        sanitizer = self._sanitizer
         rounds = 0
         transfers = 0
+        idle_count = int(idle.sum())
         max_rounds = _MAX_ROUNDS_FACTOR * self.machine.n_pes
         while busy.any() and idle.any() and rounds < max_rounds:
+            if sanitizer is not None:
+                sanitizer.check_pointer(matcher)
             result = matcher.match(busy, idle)
             if len(result) == 0:
                 break
-            transfers += self.workload.transfer(result.donors, result.receivers)
+            performed = self.workload.transfer(result.donors, result.receivers)
+            transfers += performed
             rounds += 1
+            if sanitizer is not None:
+                sanitizer.check_pointer(matcher)
+                idle_after = int(self.workload.idle_mask().sum())
+                sanitizer.check_round_progress(idle_count, idle_after, performed)
+                idle_count = idle_after
             if not scheme.multiple_transfers:
                 break
             busy = self.workload.busy_mask()
@@ -197,6 +239,7 @@ class Scheduler:
         phases = 0
         while not self.workload.done() and not self._cycle_cap_hit():
             state = self._expand_and_observe()
+            self._sanity_cycle(matcher)
             self._record_cycle(trace, state, trigger)
             if self.workload.done():
                 break

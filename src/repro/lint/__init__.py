@@ -1,0 +1,62 @@
+"""Static SIMD-discipline checks plus the runtime lock-step sanitizer.
+
+``python -m repro lint src/`` (or :func:`run_lint` from code) enforces
+the determinism contract the paper's analysis rests on:
+
+- **R001** randomness only through ``repro.util.rng``;
+- **R002** no wall-clock / entropy / set-iteration nondeterminism in
+  ``core/``, ``simd/`` or ``search/``;
+- **R003** public modules declare ``__all__``; ``pvar`` builders use an
+  explicit ``where`` context or document themselves full-width;
+- **R004** scan/reduce/route collectives only via ``ParallelVM`` /
+  ``SimdMachine`` so the time ledger sees them.
+
+Suppress a finding inline with ``# repro-lint: disable=R001`` or for a
+whole file with ``# repro-lint: disable-file=R004 -- justification``.
+
+The sibling :mod:`repro.lint.runtime` module checks the same discipline
+dynamically — see ``Scheduler(sanitize=True)``.
+"""
+
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    logical_path,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.report import exit_code, render_json, render_text
+from repro.lint.rules import (
+    LintContext,
+    Rule,
+    all_rules,
+    collect_imports,
+    register,
+    resolve_call,
+    rule_ids,
+)
+from repro.lint.runtime import SanitizerError, SchedulerSanitizer, require
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "collect_imports",
+    "resolve_call",
+    "run_lint",
+    "iter_python_files",
+    "logical_path",
+    "parse_suppressions",
+    "render_text",
+    "render_json",
+    "exit_code",
+    "SanitizerError",
+    "SchedulerSanitizer",
+    "require",
+]

@@ -1,0 +1,60 @@
+"""Finding and severity types shared by the lint rules and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How bad a finding is; ERROR findings fail the lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``R001`` .. ``R004``; ``R000`` for parse errors).
+    path:
+        The file as given on the command line.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable explanation with the sanctioned alternative.
+    severity:
+        :class:`Severity`; every built-in rule emits ``ERROR``.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,399 @@
+"""The SIMD-discipline rule set (R001-R004) and the rule registry.
+
+Each rule inspects one parsed module (:class:`LintContext`) and yields
+:class:`~repro.lint.findings.Finding` objects.  The rules encode the
+paper's lock-step contract:
+
+- **R001** — all randomness flows through ``repro.util.rng``; no direct
+  ``random`` / ``numpy.random`` use anywhere else, so every run is a
+  pure function of its integer seed.
+- **R002** — no wall-clock, entropy, or unordered-collection iteration
+  in ``core/``, ``simd/`` or ``search/``: scheme behaviour (trigger
+  decisions, GP rotation, D_K accounting) must not depend on when or
+  where the host Python runs.
+- **R003** — public modules declare ``__all__``; functions that build
+  ``pvar`` parallel variables either select PEs with an explicit
+  ``where`` context or document themselves as full-width.
+- **R004** — scan/reduce/route collectives are only reached through
+  ``ParallelVM`` / ``SimdMachine`` so their cost can't silently escape
+  the time ledger.
+
+Rules are module-scoped by *logical path* — the path suffix starting at
+the ``repro`` package directory — so fixtures placed under a
+``repro/core/`` directory in a test tree are linted exactly like the
+real package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "collect_imports",
+    "resolve_call",
+]
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """One parsed module handed to every rule.
+
+    ``logical`` is the package-relative posix path (e.g.
+    ``repro/core/scheduler.py``) used for scoping and exemptions;
+    ``path`` is the on-disk path used in findings.
+    """
+
+    path: Path
+    logical: str
+    source: str
+    tree: ast.Module
+
+
+def collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    time`` binds ``time -> time.time``; ``from repro.simd.scan import
+    rendezvous as rv`` binds ``rv -> repro.simd.scan.rendezvous``.
+    """
+    bindings: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    bindings[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    bindings[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bindings[local] = f"{node.module}.{alias.name}"
+    return bindings
+
+
+def resolve_call(func: ast.expr, bindings: dict[str, str]) -> str | None:
+    """Resolve a call's function expression to a dotted import path.
+
+    Returns ``None`` when the callee is local (not import-derived) or
+    too dynamic to resolve statically.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = bindings.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base lint rule; subclasses register themselves with :func:`register`."""
+
+    rule_id: str = "R000"
+    title: str = "abstract"
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry."""
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def rule_ids() -> list[str]:
+    """All registered rule identifiers, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_rules(subset: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally a named subset)."""
+    if subset is None:
+        ids = rule_ids()
+    else:
+        ids = list(dict.fromkeys(s.upper() for s in subset))
+        unknown = [i for i in ids if i not in _REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {rule_ids()}"
+            )
+    return [_REGISTRY[i]() for i in ids]
+
+
+# --------------------------------------------------------------------------- #
+
+
+@register
+class UnsanctionedRNG(Rule):
+    """R001: all randomness must flow through ``repro.util.rng``."""
+
+    rule_id = "R001"
+    title = "unsanctioned RNG use outside repro/util/rng.py"
+
+    _EXEMPT = ("repro/util/rng.py",)
+    _HINT = (
+        "derive streams through repro.util.rng.as_generator / spawn_child "
+        "so runs stay a pure function of the seed"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.logical in self._EXEMPT:
+            return
+        bindings = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    head = alias.name.split(".")[0]
+                    if head == "random":
+                        yield self.finding(
+                            ctx, node,
+                            f"import of the stdlib 'random' module; {self._HINT}",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                mod = node.module or ""
+                if mod == "random" or mod.startswith("random."):
+                    yield self.finding(
+                        ctx, node,
+                        f"import from the stdlib 'random' module; {self._HINT}",
+                    )
+                elif mod == "numpy.random" or mod.startswith("numpy.random."):
+                    yield self.finding(
+                        ctx, node,
+                        f"import from numpy.random; {self._HINT}",
+                    )
+                elif mod == "numpy" and any(a.name == "random" for a in node.names):
+                    yield self.finding(
+                        ctx, node,
+                        f"import of numpy.random; {self._HINT}",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_call(node.func, bindings)
+                if dotted is None:
+                    continue
+                if dotted.startswith("numpy.random.") or dotted == "random" or \
+                        dotted.startswith("random."):
+                    yield self.finding(
+                        ctx, node, f"direct call to {dotted}; {self._HINT}"
+                    )
+
+
+@register
+class Nondeterminism(Rule):
+    """R002: no wall-clock / entropy / unordered iteration in hot subsystems."""
+
+    rule_id = "R002"
+    title = "nondeterminism in core/, simd/ or search/"
+
+    _SCOPES = ("repro/core/", "repro/simd/", "repro/search/")
+    _BANNED_CALLS = {
+        "time.time": "wall-clock read",
+        "time.time_ns": "wall-clock read",
+        "time.perf_counter": "wall-clock read",
+        "time.perf_counter_ns": "wall-clock read",
+        "time.monotonic": "wall-clock read",
+        "time.monotonic_ns": "wall-clock read",
+        "time.clock_gettime": "wall-clock read",
+        "os.urandom": "OS entropy",
+        "os.getrandom": "OS entropy",
+        "uuid.uuid1": "entropy-derived identifier",
+        "uuid.uuid4": "entropy-derived identifier",
+        "datetime.datetime.now": "wall-clock read",
+        "datetime.datetime.utcnow": "wall-clock read",
+        "datetime.datetime.today": "wall-clock read",
+        "datetime.date.today": "wall-clock read",
+    }
+    _BANNED_PREFIXES = ("secrets.",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.logical.startswith(self._SCOPES):
+            return
+        bindings = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve_call(node.func, bindings)
+                if dotted is None:
+                    continue
+                why = self._BANNED_CALLS.get(dotted)
+                if why is None and dotted.startswith(self._BANNED_PREFIXES):
+                    why = "OS entropy"
+                if why is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to {dotted} ({why}) in a lock-step subsystem; "
+                        "simulated time lives on the SimdMachine ledger and "
+                        "randomness comes from repro.util.rng",
+                    )
+            elif isinstance(node, ast.For):
+                if self._is_unordered(node.iter):
+                    yield self.finding(ctx, node.iter, self._ITER_MSG)
+            elif isinstance(node, ast.comprehension):
+                if self._is_unordered(node.iter):
+                    yield self.finding(ctx, node.iter, self._ITER_MSG)
+
+    _ITER_MSG = (
+        "iteration over a set in a lock-step subsystem: ordering depends on "
+        "hash seeding and can leak into scheduling decisions; iterate a "
+        "sorted() or list view instead"
+    )
+
+    @staticmethod
+    def _is_unordered(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+
+@register
+class ModuleDiscipline(Rule):
+    """R003: public modules declare ``__all__``; pvar builders use ``where``."""
+
+    rule_id = "R003"
+    title = "missing __all__ / pvar built outside a where context"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        basename = Path(ctx.logical).name
+        if not basename.startswith("_") and not self._defines_all(ctx.tree):
+            yield Finding(
+                rule=self.rule_id,
+                path=str(ctx.path),
+                line=1,
+                col=0,
+                message="public module defines no __all__; declare its "
+                "exported surface explicitly",
+                severity=self.severity,
+            )
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._calls_pvar(fn):
+                continue
+            doc = ast.get_docstring(fn) or ""
+            if "full-width" in doc or self._has_where(fn):
+                continue
+            yield self.finding(
+                ctx, fn,
+                f"function '{fn.name}' builds pvar parallel variables but "
+                "never opens a where() context; select PEs explicitly or "
+                "document the function as full-width in its docstring",
+            )
+
+    @staticmethod
+    def _defines_all(tree: ast.Module) -> bool:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return True
+        return False
+
+    @staticmethod
+    def _calls_pvar(fn: ast.AST) -> bool:
+        return any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pvar"
+            for node in ast.walk(fn)
+        )
+
+    @staticmethod
+    def _has_where(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "where"
+                ):
+                    return True
+        return False
+
+
+@register
+class RawCollective(Rule):
+    """R004: collectives only through ``ParallelVM`` / ``SimdMachine``."""
+
+    rule_id = "R004"
+    title = "raw scan/reduce/route collective bypasses cost accounting"
+
+    _EXEMPT_PREFIXES = ("repro/simd/", "repro/lint/")
+    _MODULE_PREFIXES = (
+        "repro.simd.scan.",
+        "repro.simd.reduce.",
+        "repro.simd.router.",
+    )
+    _COLLECTIVE_NAMES = {
+        "sum_scan",
+        "segmented_sum_scan",
+        "enumerate_mask",
+        "rendezvous",
+        "reduce_array",
+        "route_permutation",
+        "ecube_path",
+    }
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.logical.startswith(self._EXEMPT_PREFIXES):
+            return
+        bindings = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_call(node.func, bindings)
+            if dotted is None:
+                continue
+            is_raw = dotted.startswith(self._MODULE_PREFIXES) or (
+                dotted.startswith("repro.simd.")
+                and dotted.rsplit(".", 1)[-1] in self._COLLECTIVE_NAMES
+            )
+            if is_raw:
+                yield self.finding(
+                    ctx, node,
+                    f"raw collective call {dotted} bypasses ParallelVM/"
+                    "SimdMachine cost accounting; invoke it through the VM "
+                    "or charge the machine explicitly",
+                )

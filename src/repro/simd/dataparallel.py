@@ -27,6 +27,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.lint.runtime import SanitizerError, require
 from repro.util.validation import check_positive_int
 
 __all__ = ["ParallelVM", "gp_match_on_vm"]
@@ -39,10 +40,17 @@ class ParallelVM:
     observe writes.  One VM instance models one SIMD program's
     execution; collectives count invocations so cost models can charge
     them.
+
+    With ``sanitize=True`` every ``where`` block verifies on exit that
+    the context it pushed is still on top of the stack — push/pop
+    imbalance (manual stack surgery inside a block) raises
+    :class:`~repro.lint.runtime.SanitizerError` instead of silently
+    corrupting the selection of every later write.
     """
 
-    def __init__(self, n_pes: int) -> None:
+    def __init__(self, n_pes: int, *, sanitize: bool = False) -> None:
         self.n_pes = check_positive_int(n_pes, "n_pes")
+        self.sanitize = bool(sanitize)
         self._context: list[np.ndarray] = [np.ones(n_pes, dtype=bool)]
         self.scan_count = 0
         self.reduce_count = 0
@@ -55,6 +63,20 @@ class ParallelVM:
         """The current context: PEs that observe writes."""
         return self._context[-1]
 
+    @property
+    def context_depth(self) -> int:
+        """Number of ``where`` frames currently open (0 at top level)."""
+        return len(self._context) - 1
+
+    def assert_balanced(self) -> None:
+        """Sanitizer hook: verify every ``where`` frame has been exited."""
+        require(
+            len(self._context) == 1,
+            "context-balance",
+            f"{len(self._context) - 1} where() frame(s) left on the context "
+            "stack at a point that should be top level",
+        )
+
     @contextmanager
     def where(self, mask: np.ndarray):
         """Nested context selection (Paris ``where``).
@@ -62,10 +84,17 @@ class ParallelVM:
         The new context is the AND of ``mask`` with the enclosing one.
         """
         mask = self._as_mask(mask)
-        self._context.append(self.active & mask)
+        frame = self.active & mask
+        self._context.append(frame)
         try:
             yield self
         finally:
+            if self.sanitize and self._context[-1] is not frame:
+                raise SanitizerError(
+                    "context-balance",
+                    "where() exited with a different context on top of the "
+                    "stack — push/pop imbalance inside the block",
+                )
             self._context.pop()
 
     def _as_mask(self, mask: np.ndarray) -> np.ndarray:
@@ -105,7 +134,11 @@ class ParallelVM:
         return np.where(self.active, out, 0)
 
     def enumerate_active(self) -> np.ndarray:
-        """Rank of each active PE among the active set (-1 if inactive)."""
+        """Rank of each active PE among the active set (-1 if inactive).
+
+        Runs full-width by design: the caller's enclosing context decides
+        the active set, and inactive PEs receive the -1 sentinel.
+        """
         ranks = self.scan_add(self.pvar(1))
         return np.where(self.active, ranks, -1)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.lint.runtime import require
 from repro.simd.cost import CostModel
 from repro.util.validation import check_positive_int
 
@@ -64,6 +65,10 @@ class SimdMachine:
     The search/load-balance scheduler calls :meth:`charge_expansion_cycle`
     once per lock-step node-expansion cycle and :meth:`charge_lb_phase`
     once per load-balancing phase; the machine does the bookkeeping.
+
+    With ``sanitize=True`` the ledger identity is re-verified after every
+    charge, so any future accounting path that forgets a term fails at
+    the first charge rather than in an end-of-run assertion.
     """
 
     n_pes: int
@@ -72,9 +77,18 @@ class SimdMachine:
     n_cycles: int = 0
     n_lb_phases: int = 0
     n_transfers: int = 0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_pes, "n_pes")
+
+    def _sanitize_check(self) -> None:
+        if self.sanitize:
+            require(
+                self.check_time_identity(),
+                "time-identity",
+                "P * T_par != T_calc + T_idle + T_lb after a charge",
+            )
 
     def charge_expansion_cycle(self, n_expanding: int) -> float:
         """Account one node-expansion cycle with ``n_expanding`` active PEs.
@@ -92,6 +106,7 @@ class SimdMachine:
         self.ledger.t_calc += n_expanding * dt
         self.ledger.t_idle += (self.n_pes - n_expanding) * dt
         self.n_cycles += 1
+        self._sanitize_check()
         return dt
 
     def charge_lb_phase(
@@ -114,6 +129,7 @@ class SimdMachine:
         self.ledger.t_lb += self.n_pes * dt
         self.n_lb_phases += 1
         self.n_transfers += n_transfers
+        self._sanitize_check()
         return dt
 
     def charge_collective(self, dt: float) -> float:
@@ -128,6 +144,7 @@ class SimdMachine:
             raise ValueError(f"dt must be >= 0, got {dt}")
         self.ledger.elapsed += dt
         self.ledger.t_lb += self.n_pes * dt
+        self._sanitize_check()
         return dt
 
     def charge_custom_phase(self, dt: float, *, n_transfers: int = 0) -> float:
@@ -143,6 +160,7 @@ class SimdMachine:
         self.ledger.t_lb += self.n_pes * dt
         self.n_lb_phases += 1
         self.n_transfers += n_transfers
+        self._sanitize_check()
         return dt
 
     def efficiency(self) -> float:

@@ -1,0 +1,32 @@
+"""Seeded violations of every lint rule — consumed by the lint tests only.
+
+This module is never imported; it lives under a ``repro/core/`` directory
+so the scoped rules (R002, R004) treat it like a real core module.  It
+deliberately omits ``__all__`` (R003).
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.simd.scan import sum_scan
+
+
+def jitter():
+    return random.random() + np.random.default_rng().random()
+
+
+def stamp():
+    return time.time()
+
+
+def pick(options):
+    for item in {1, 2, 3}:
+        options.append(item)
+    return options
+
+
+def raw_scan(vm):
+    values = vm.pvar(1)
+    return sum_scan(values)

@@ -1,0 +1,103 @@
+"""End-to-end lint runs: the seeded fixture, the real tree, and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import exit_code, render_json, render_text, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+BAD_MODULE = FIXTURES / "repro" / "core" / "bad_discipline.py"
+
+
+class TestFixtureModule:
+    """The acceptance fixture seeds one violation of every rule."""
+
+    def test_every_rule_fires_with_location(self):
+        result = run_lint([str(FIXTURES)])
+        fired = {f.rule for f in result.findings}
+        assert {"R001", "R002", "R003", "R004"} <= fired
+        for finding in result.findings:
+            assert finding.path.endswith("bad_discipline.py")
+            assert finding.line >= 1
+        assert exit_code(result) == 1
+
+    def test_expected_violation_lines(self):
+        result = run_lint([str(BAD_MODULE)])
+        by_rule = {}
+        for f in result.findings:
+            by_rule.setdefault(f.rule, []).append(f.line)
+        source_lines = BAD_MODULE.read_text().splitlines()
+        # R001: `import random` plus the two calls in jitter().
+        assert len(by_rule["R001"]) == 3
+        # R002: time.time() and the set-literal iteration.
+        assert len(by_rule["R002"]) == 2
+        # R003: missing __all__ (line 1) and raw_scan's bare pvar.
+        assert 1 in by_rule["R003"]
+        # R004: the sum_scan call inside raw_scan.
+        [r004_line] = by_rule["R004"]
+        assert "sum_scan(values)" in source_lines[r004_line - 1]
+
+
+class TestRealTreeStaysClean:
+    def test_src_lints_clean(self):
+        result = run_lint([str(REPO_ROOT / "src")])
+        assert result.findings == [], render_text(result)
+        assert result.files_checked > 50
+        assert exit_code(result) == 0
+
+
+class TestReporting:
+    def test_text_report_format(self):
+        result = run_lint([str(BAD_MODULE)])
+        text = render_text(result)
+        first = text.splitlines()[0]
+        path, line, col, rest = first.split(":", 3)
+        assert path.endswith("bad_discipline.py")
+        assert int(line) >= 1 and int(col) >= 0
+        assert rest.strip().startswith("R0")
+        assert "suppressed" in text.splitlines()[-1]
+
+    def test_json_report_round_trips(self):
+        result = run_lint([str(BAD_MODULE)])
+        payload = json.loads(render_json(result))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"R001", "R002", "R003", "R004"} <= rules
+        for f in payload["findings"]:
+            assert set(f) == {"rule", "path", "line", "col", "message", "severity"}
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint([str(REPO_ROOT / "no_such_dir")])
+
+
+class TestCli:
+    def test_lint_fixture_exits_nonzero(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad_discipline.py" in out
+
+    def test_lint_src_exits_zero(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+
+    def test_rule_subset(self, capsys):
+        assert main(["lint", str(FIXTURES), "--rules", "R002"]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "R001" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004"):
+            assert rule_id in out

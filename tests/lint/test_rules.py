@@ -1,0 +1,237 @@
+"""Per-rule behaviour of the R001-R004 static checks."""
+
+import pytest
+
+from repro.lint import all_rules, run_lint
+
+
+def lint_source(tmp_path, source, rel="repro/core/mod.py", rules=None):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return run_lint([str(path)], rules=rules)
+
+
+def rule_hits(result, rule_id):
+    return [f for f in result.findings if f.rule == rule_id]
+
+
+CLEAN_HEADER = '__all__ = []\n'
+
+
+class TestR001:
+    def test_flags_stdlib_random_import_and_call(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            CLEAN_HEADER + "import random\n\n\ndef f():\n    return random.random()\n",
+            rules=["R001"],
+        )
+        assert len(rule_hits(result, "R001")) == 2
+
+    def test_flags_numpy_default_rng_call(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            CLEAN_HEADER + "import numpy as np\n\n\ndef f():\n"
+            "    return np.random.default_rng(3)\n",
+            rules=["R001"],
+        )
+        hits = rule_hits(result, "R001")
+        assert len(hits) == 1
+        assert hits[0].line == 6
+        assert "numpy.random.default_rng" in hits[0].message
+
+    def test_flags_from_numpy_random_import(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            CLEAN_HEADER + "from numpy.random import default_rng\n",
+            rules=["R001"],
+        )
+        assert len(rule_hits(result, "R001")) == 1
+
+    def test_annotations_and_isinstance_not_flagged(self, tmp_path):
+        source = (
+            "from __future__ import annotations\n"
+            + CLEAN_HEADER
+            + "import numpy as np\n\n\n"
+            "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+            "    assert isinstance(rng, np.random.Generator)\n"
+            "    return rng\n"
+        )
+        assert not lint_source(tmp_path, source, rules=["R001"]).findings
+
+    def test_rng_module_itself_exempt(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "import numpy as np\n\n\ndef g(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        result = lint_source(tmp_path, source, rel="repro/util/rng.py", rules=["R001"])
+        assert not result.findings
+
+    def test_applies_outside_core_too(self, tmp_path):
+        source = CLEAN_HEADER + "import random\n"
+        result = lint_source(
+            tmp_path, source, rel="repro/problems/mod.py", rules=["R001"]
+        )
+        assert len(rule_hits(result, "R001")) == 1
+
+
+class TestR002:
+    def test_flags_wall_clock_in_core(self, tmp_path):
+        source = CLEAN_HEADER + "import time\n\n\ndef f():\n    return time.time()\n"
+        result = lint_source(tmp_path, source, rules=["R002"])
+        hits = rule_hits(result, "R002")
+        assert len(hits) == 1 and hits[0].line == 6
+
+    def test_flags_from_import_alias(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "from time import perf_counter as clock\n\n\n"
+            "def f():\n    return clock()\n"
+        )
+        assert len(rule_hits(lint_source(tmp_path, source, rules=["R002"]), "R002")) == 1
+
+    def test_flags_urandom_and_uuid(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "import os\nimport uuid\n\n\ndef f():\n"
+            "    return os.urandom(4), uuid.uuid4()\n"
+        )
+        assert len(rule_hits(lint_source(tmp_path, source, rules=["R002"]), "R002")) == 2
+
+    def test_flags_set_iteration(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(xs):\n"
+            "    for x in set(xs):\n"
+            "        yield x\n"
+            "    return [y for y in {1, 2}]\n"
+        )
+        assert len(rule_hits(lint_source(tmp_path, source, rules=["R002"]), "R002")) == 2
+
+    def test_sorted_set_iteration_allowed(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(xs):\n"
+            "    for x in sorted(set(xs)):\n"
+            "        yield x\n"
+        )
+        assert not lint_source(tmp_path, source, rules=["R002"]).findings
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        source = CLEAN_HEADER + "import time\n\n\ndef f():\n    return time.time()\n"
+        result = lint_source(
+            tmp_path, source, rel="repro/experiments/mod.py", rules=["R002"]
+        )
+        assert not result.findings
+
+
+class TestR003:
+    def test_public_module_without_all_flagged(self, tmp_path):
+        result = lint_source(tmp_path, "x = 1\n", rules=["R003"])
+        hits = rule_hits(result, "R003")
+        assert len(hits) == 1 and hits[0].line == 1
+
+    def test_private_module_exempt(self, tmp_path):
+        result = lint_source(
+            tmp_path, "x = 1\n", rel="repro/core/_helpers.py", rules=["R003"]
+        )
+        assert not result.findings
+
+    def test_pvar_without_where_flagged(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(vm):\n"
+            '    """Make a counter."""\n'
+            "    return vm.pvar(1)\n"
+        )
+        hits = rule_hits(lint_source(tmp_path, source, rules=["R003"]), "R003")
+        assert len(hits) == 1
+        assert "'f'" in hits[0].message
+
+    def test_pvar_under_where_allowed(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(vm, mask):\n"
+            "    with vm.where(mask):\n"
+            "        return vm.pvar(1)\n"
+        )
+        assert not lint_source(tmp_path, source, rules=["R003"]).findings
+
+    def test_pvar_documented_full_width_allowed(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(vm):\n"
+            '    """Build a counter, full-width on purpose."""\n'
+            "    return vm.pvar(1)\n"
+        )
+        assert not lint_source(tmp_path, source, rules=["R003"]).findings
+
+
+class TestR004:
+    def test_raw_collective_flagged_in_core(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "from repro.simd.scan import rendezvous\n\n\n"
+            "def f(i, b):\n    return rendezvous(i, b)\n"
+        )
+        hits = rule_hits(lint_source(tmp_path, source, rules=["R004"]), "R004")
+        assert len(hits) == 1 and "rendezvous" in hits[0].message
+
+    def test_package_reexport_flagged(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "from repro.simd import reduce_array\n\n\n"
+            "def f(v):\n    return reduce_array(v, 'sum')\n"
+        )
+        assert len(rule_hits(lint_source(tmp_path, source, rules=["R004"]), "R004")) == 1
+
+    def test_simd_package_itself_exempt(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "from repro.simd.scan import sum_scan\n\n\n"
+            "def f(v):\n    return sum_scan(v)\n"
+        )
+        result = lint_source(
+            tmp_path, source, rel="repro/simd/mod.py", rules=["R004"]
+        )
+        assert not result.findings
+
+    def test_vm_method_call_allowed(self, tmp_path):
+        source = (
+            CLEAN_HEADER + "def f(vm, v):\n    return vm.scan_add(v)\n"
+        )
+        assert not lint_source(tmp_path, source, rules=["R004"]).findings
+
+
+class TestSuppression:
+    def test_inline_disable(self, tmp_path):
+        source = (
+            CLEAN_HEADER
+            + "import random  # repro-lint: disable=R001\n"
+        )
+        result = lint_source(tmp_path, source, rules=["R001"])
+        assert not result.findings and result.suppressed == 1
+
+    def test_inline_disable_all(self, tmp_path):
+        source = CLEAN_HEADER + "import random  # repro-lint: disable=all\n"
+        result = lint_source(tmp_path, source, rules=["R001"])
+        assert not result.findings and result.suppressed == 1
+
+    def test_file_level_disable_with_justification(self, tmp_path):
+        source = (
+            "# repro-lint: disable-file=R001 -- fixture exercises raw RNG\n"
+            + CLEAN_HEADER
+            + "import random\n\n\ndef f():\n    return random.random()\n"
+        )
+        result = lint_source(tmp_path, source, rules=["R001"])
+        assert not result.findings and result.suppressed == 2
+
+    def test_disable_wrong_rule_does_not_suppress(self, tmp_path):
+        source = CLEAN_HEADER + "import random  # repro-lint: disable=R004\n"
+        result = lint_source(tmp_path, source, rules=["R001"])
+        assert len(result.findings) == 1 and result.suppressed == 0
+
+
+class TestRegistry:
+    def test_four_rules_registered(self):
+        assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004"]
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            all_rules(["R999"])
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        result = lint_source(tmp_path, "def broken(:\n")
+        assert len(result.findings) == 1
+        assert result.findings[0].rule == "R000"
+        assert result.findings[0].line >= 1
