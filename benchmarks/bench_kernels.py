@@ -2,17 +2,23 @@
 
 Times the primitives every experiment is built from: sum-scans at
 machine width, matching, a full divisible expansion cycle, one complete
-paper-scale run, and real 15-puzzle node expansion.
+paper-scale run, stack-model expansion per backend (list loop vs flat
+arena), and real 15-puzzle node expansion.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.matching import GPMatcher, NGPMatcher
+from repro.core.scheduler import Scheduler
 from repro.experiments.runner import run_divisible
 from repro.problems.fifteen_puzzle import BENCH_INSTANCES
 from repro.search.parallel import SearchWorkload
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
 from repro.simd.scan import sum_scan
 from repro.workmodel.divisible import DivisibleWorkload
+from repro.workmodel.stackmodel import StackWorkload
 
 P = 8192
 
@@ -64,6 +70,29 @@ def test_paper_scale_full_run(benchmark):
     )
     assert metrics.total_work == 16_110_463
     assert metrics.efficiency > 0.8
+
+
+@pytest.mark.parametrize(
+    "backend,sampler",
+    [("list", "pernode"), ("list", "batched"), ("arena", "batched")],
+    ids=["list-pernode", "list-batched", "arena"],
+)
+def test_stack_expand_cycle(benchmark, backend, sampler):
+    # Warm through the scheduler so work is spread over the PEs, then
+    # time the raw expansion kernel (the arena's headline win).
+    wl = StackWorkload(P * 64, P, rng=0, backend=backend, sampler=sampler)
+    Scheduler(wl, SimdMachine(P, CostModel()), "GP-S0.75", max_cycles=64).run()
+    benchmark(wl.expand_cycle)
+
+
+def test_stack_arena_full_run(benchmark):
+    def run():
+        wl = StackWorkload(500_000, P, rng=0, backend="arena")
+        Scheduler(wl, SimdMachine(P, CostModel()), "GP-S0.90").run()
+        return wl
+
+    wl = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert wl.done() and wl.total_expanded() == 500_000
 
 
 def test_puzzle_expand_cycle(benchmark):

@@ -8,6 +8,8 @@ Commands:
   / tsp) with parallel search on the simulated machine.
 - ``xo`` — the Equation 18 optimal static trigger for a configuration.
 - ``table`` / ``figure`` — regenerate a paper table or figure.
+- ``bench`` — time the hot kernels and a small grid; writes
+  ``BENCH_kernels.json`` for the perf trajectory.
 - ``lint`` — the SIMD-discipline static checks (rules R001-R004).
 
 Every command prints plain text and exits non-zero on bad arguments, so
@@ -86,6 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--works", nargs="+", type=int, required=True)
     grid.add_argument("--pes", nargs="+", type=int, required=True)
     grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the grid cells (default: serial)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="time the hot kernels; write BENCH_kernels.json"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="few-second CI variant (small machine width, short timings)",
+    )
+    bench.add_argument(
+        "--pes", type=int, default=None,
+        help="machine width for the kernel benches (default: 4096, smoke: 256)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for the grid bench"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out", default=None,
+        help="report path (default: BENCH_kernels.json in the cwd)",
+    )
 
     iso = sub.add_parser(
         "isoeff", help="extract an isoefficiency curve from a saved grid"
@@ -277,9 +303,23 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_grid
     from repro.experiments.store import save_records
 
-    records = run_grid(args.schemes, args.works, args.pes, base_seed=args.seed)
+    records = run_grid(
+        args.schemes, args.works, args.pes, base_seed=args.seed, n_jobs=args.jobs
+    )
     path = save_records(records, args.out)
     print(f"ran {len(records)} cells; saved to {path}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import BENCH_PATH, render_bench, run_bench
+
+    out = args.out if args.out is not None else BENCH_PATH
+    report = run_bench(
+        smoke=args.smoke, n_pes=args.pes, n_jobs=args.jobs, seed=args.seed, out=out
+    )
+    print(render_bench(report))
+    print(f"\nreport written to {out}")
     return 0
 
 
@@ -353,6 +393,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table": lambda: _cmd_table(args),
         "figure": lambda: _cmd_figure(args),
         "grid": lambda: _cmd_grid(args),
+        "bench": lambda: _cmd_bench(args),
         "isoeff": lambda: _cmd_isoeff(args),
         "report": lambda: _cmd_report(args),
         "lint": lambda: _cmd_lint(args),

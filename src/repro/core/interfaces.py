@@ -32,6 +32,11 @@ class Workload(Protocol):
     two non-empty parts — i.e. it holds at least two stack nodes.  A PE is
     **idle** if it holds no work at all and should receive some.  A PE with
     exactly one node expands but neither donates nor receives.
+
+    Implementations may cache the masks between mutations (the scheduler
+    reads them several times per lock-step cycle); callers that mutate
+    workload state outside ``expand_cycle``/``transfer`` must use the
+    implementation's invalidation hook before re-reading masks.
     """
 
     n_pes: int

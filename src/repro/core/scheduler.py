@@ -15,6 +15,13 @@ split their work and share it with idle ones.  The scheduler:
 The paper's rule "after each load balancing phase, at least one node
 expansion cycle is completed before the triggering condition is tested
 again" falls out of the loop structure.
+
+One cycle reads the workload masks several times — the trigger state
+needs the busy count, the sanitizer all three masks, and an LB phase the
+busy/idle pair per transfer round.  The workloads memoize one counts
+snapshot per mutation (see ``DivisibleWorkload``/``StackWorkload``
+``invalidate_masks``), so those reads collapse to a single O(P) pass per
+cycle plus one per transfer round instead of 3-6 full recomputations.
 """
 
 from __future__ import annotations

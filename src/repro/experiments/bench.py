@@ -1,0 +1,260 @@
+"""The ``python -m repro bench`` harness — tracks the perf trajectory.
+
+Times the hot kernels and a small Figure-4-style grid, then writes
+``BENCH_kernels.json`` so every PR can compare against the last recorded
+numbers:
+
+- **expand_cycle kernel** — node-expansion throughput of the stack-model
+  backends at machine width, measured in a warmed (work-spread) state:
+  the list backend with its per-node sampler (the historical
+  implementation), the list backend with the batched sampler (isolates
+  the RNG-batching win), and the flat arena (adds the vectorized
+  storage win).
+- **full run** — one complete scheduler run per backend, plus a
+  bit-identity check between the list (batched) and arena runs.
+- **grid** — a small static-trigger isoefficiency grid (Figure 4's
+  shape) executed serially and with ``run_grid(n_jobs=...)``, plus a
+  record-identity check between the two.
+
+All wall-clock numbers are host measurements, so the JSON embeds the
+host fingerprint (platform, Python, numpy, CPU count); a grid speedup
+only means something relative to ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.scheduler import Scheduler
+from repro.experiments.runner import run_grid
+from repro.simd.cost import CostModel
+from repro.simd.machine import SimdMachine
+from repro.workmodel.stackmodel import StackWorkload
+
+__all__ = [
+    "BENCH_PATH",
+    "bench_expand_kernel",
+    "bench_full_run",
+    "bench_grid",
+    "run_bench",
+    "render_bench",
+]
+
+BENCH_PATH = "BENCH_kernels.json"
+
+#: (backend, sampler) variants timed by the kernel/full-run benches.
+_VARIANTS = (
+    ("list-pernode", "list", "pernode"),
+    ("list-batched", "list", "batched"),
+    ("arena", "arena", "batched"),
+)
+
+
+def _host_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _warmed_workload(
+    backend: str, sampler: str, *, work: int, n_pes: int, seed: int, warm_cycles: int
+) -> StackWorkload:
+    """A stack workload after ``warm_cycles`` scheduled cycles of spread.
+
+    The warmup is deterministic and identical across variants (same seed,
+    same scheme), so every backend is timed from the same tree state.
+    """
+    workload = StackWorkload(work, n_pes, rng=seed, backend=backend, sampler=sampler)
+    machine = SimdMachine(n_pes, CostModel())
+    Scheduler(workload, machine, "GP-S0.75", max_cycles=warm_cycles).run()
+    return workload
+
+
+def bench_expand_kernel(
+    *,
+    n_pes: int = 4096,
+    work_per_pe: int = 400,
+    warm_cycles: int = 64,
+    time_cycles: int = 60,
+    seed: int = 0,
+) -> dict:
+    """Throughput of ``expand_cycle`` per backend variant at width ``n_pes``."""
+    work = n_pes * work_per_pe
+    backends: dict[str, dict] = {}
+    for name, backend, sampler in _VARIANTS:
+        workload = _warmed_workload(
+            backend, sampler, work=work, n_pes=n_pes, seed=seed, warm_cycles=warm_cycles
+        )
+        expanded_before = workload.total_expanded()
+        cycles = 0
+        t0 = time.perf_counter()
+        while cycles < time_cycles and not workload.done():
+            workload.expand_cycle()
+            cycles += 1
+        dt = time.perf_counter() - t0
+        backends[name] = {
+            "cycles": cycles,
+            "nodes_per_s": (workload.total_expanded() - expanded_before) / dt,
+            "ms_per_cycle": dt / max(cycles, 1) * 1e3,
+        }
+    return {
+        "n_pes": n_pes,
+        "total_work": work,
+        "warm_cycles": warm_cycles,
+        "time_cycles": time_cycles,
+        "backends": backends,
+        "speedup_arena_vs_list": (
+            backends["arena"]["nodes_per_s"] / backends["list-pernode"]["nodes_per_s"]
+        ),
+        "speedup_arena_vs_list_batched": (
+            backends["arena"]["nodes_per_s"] / backends["list-batched"]["nodes_per_s"]
+        ),
+    }
+
+
+def bench_full_run(
+    *,
+    n_pes: int = 4096,
+    work_per_pe: int = 100,
+    seed: int = 0,
+    scheme: str = "GP-S0.75",
+) -> dict:
+    """Wall-clock of one complete scheduled stack-model run per variant."""
+    work = n_pes * work_per_pe
+    seconds: dict[str, float] = {}
+    metrics: dict[str, object] = {}
+    for name, backend, sampler in _VARIANTS:
+        workload = StackWorkload(
+            work, n_pes, rng=seed, backend=backend, sampler=sampler
+        )
+        machine = SimdMachine(n_pes, CostModel())
+        t0 = time.perf_counter()
+        metrics[name] = Scheduler(workload, machine, scheme).run()
+        seconds[name] = time.perf_counter() - t0
+    return {
+        "n_pes": n_pes,
+        "total_work": work,
+        "scheme": scheme,
+        "seconds": seconds,
+        "speedup_arena_vs_list": seconds["list-pernode"] / seconds["arena"],
+        # Same batched RNG stream => the runs must be indistinguishable.
+        "metrics_identical": metrics["list-batched"] == metrics["arena"],
+    }
+
+
+def bench_grid(
+    *,
+    n_jobs: int = 4,
+    schemes: tuple[str, ...] = ("GP-S0.90", "nGP-S0.80"),
+    works: tuple[int, ...] = (58_866, 190_948, 379_601),
+    pes: tuple[int, ...] = (512,),
+    seed: int = 0,
+) -> dict:
+    """A small Figure-4-style grid, serial vs process-parallel.
+
+    The defaults take SMALL_SCALE's machine width and its smaller Table 2
+    work sizes.  A >= ``n_jobs``-way speedup needs that many free cores;
+    the host block records ``cpu_count`` for exactly that reason.
+    """
+    t0 = time.perf_counter()
+    serial = run_grid(list(schemes), list(works), list(pes), base_seed=seed)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_grid(
+        list(schemes), list(works), list(pes), base_seed=seed, n_jobs=n_jobs
+    )
+    parallel_s = time.perf_counter() - t0
+    return {
+        "schemes": list(schemes),
+        "works": list(works),
+        "pes": list(pes),
+        "cells": len(serial),
+        "n_jobs": n_jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "records_identical": serial == parallel,
+    }
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    n_pes: int | None = None,
+    n_jobs: int = 4,
+    seed: int = 0,
+    out: str | Path = BENCH_PATH,
+) -> dict:
+    """Run every bench and persist the JSON report to ``out``.
+
+    ``smoke`` shrinks each bench to a few seconds total (CI uses it per
+    commit); full mode is the number that the acceptance thresholds and
+    the perf trajectory track.
+    """
+    if n_pes is None:
+        n_pes = 256 if smoke else 4096
+    kernel_kwargs = (
+        {"work_per_pe": 80, "warm_cycles": 32, "time_cycles": 20}
+        if smoke
+        else {}
+    )
+    grid_kwargs = (
+        {"works": (2_000, 4_000), "pes": (32,), "n_jobs": min(n_jobs, 2)}
+        if smoke
+        else {"n_jobs": n_jobs}
+    )
+    report = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "smoke": smoke,
+        "seed": seed,
+        "host": _host_info(),
+        "kernels": {
+            "expand_cycle": bench_expand_kernel(n_pes=n_pes, seed=seed, **kernel_kwargs),
+            "full_run": bench_full_run(
+                n_pes=n_pes, seed=seed, work_per_pe=20 if smoke else 100
+            ),
+        },
+        "grid": bench_grid(seed=seed, **grid_kwargs),
+    }
+    path = Path(out)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def render_bench(report: dict) -> str:
+    """A terse human summary of one bench report."""
+    kernel = report["kernels"]["expand_cycle"]
+    full = report["kernels"]["full_run"]
+    grid = report["grid"]
+    lines = [
+        f"expand_cycle kernel @ P={kernel['n_pes']}:",
+    ]
+    for name, row in kernel["backends"].items():
+        lines.append(
+            f"  {name:13s} {row['nodes_per_s']:>12,.0f} nodes/s"
+            f"  ({row['ms_per_cycle']:.3f} ms/cycle)"
+        )
+    lines += [
+        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x"
+        f" (vs list-batched: {kernel['speedup_arena_vs_list_batched']:.1f}x)",
+        f"full run @ P={full['n_pes']}, W={full['total_work']}: "
+        f"arena {full['seconds']['arena']:.2f}s, "
+        f"list {full['seconds']['list-pernode']:.2f}s "
+        f"({full['speedup_arena_vs_list']:.1f}x); "
+        f"bit-identical: {full['metrics_identical']}",
+        f"grid {grid['cells']} cells, n_jobs={grid['n_jobs']}: "
+        f"serial {grid['serial_s']:.2f}s, parallel {grid['parallel_s']:.2f}s "
+        f"({grid['speedup']:.2f}x on {report['host']['cpu_count']} CPUs); "
+        f"record-identical: {grid['records_identical']}",
+    ]
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ workload); ``SMALL_SCALE`` divides both by 16 for quick test runs, and
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.config import Scheme, make_scheme, parse_scheme_spec
@@ -26,6 +27,7 @@ __all__ = [
     "SMALL_SCALE",
     "TINY_SCALE",
     "GridRecord",
+    "cell_seed",
     "run_divisible",
     "run_grid",
     "default_init_threshold",
@@ -123,6 +125,42 @@ def run_divisible(
     return scheduler.run()
 
 
+def cell_seed(base_seed: int, index: int) -> int:
+    """The deterministic seed of grid cell ``index``.
+
+    Derived from ``spawn_child(base_seed, index)`` — a pure function of
+    ``(base_seed, index)`` independent of process, platform, and of which
+    other cells run — so serial and process-parallel grids see identical
+    streams.  ``index`` enumerates cells in **scheme-major order**: the
+    nested loops run ``for scheme: for n_pes: for total_work``, i.e.
+    ``index = (i_scheme * len(pes) + i_pes) * len(works) + i_work``.
+    The regression suite asserts this order so parallelization can never
+    silently reshuffle seeds.
+    """
+    return int(spawn_child(base_seed, index).integers(0, 2**31 - 1))
+
+
+def _run_grid_cell(
+    payload: tuple,
+) -> RunMetrics:
+    """One grid cell, picklable for ``ProcessPoolExecutor`` workers.
+
+    Schemes travel as spec strings (Scheme factories close over locals
+    and do not pickle) and are rebuilt with ``make_scheme`` in the
+    worker; the cost model and splitter pickle as-is.
+    """
+    spec, total_work, n_pes, seed, cost_model, splitter, init_threshold = payload
+    return run_divisible(
+        make_scheme(spec),
+        total_work,
+        n_pes,
+        cost_model=cost_model,
+        splitter=splitter,
+        seed=seed,
+        init_threshold=init_threshold,
+    )
+
+
 def run_grid(
     schemes: list[Scheme | str],
     works: list[int],
@@ -132,28 +170,63 @@ def run_grid(
     splitter: WorkSplitter | None = None,
     base_seed: int = 0,
     init_threshold: float | None | str = "auto",
+    n_jobs: int | None = None,
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
-    Each cell gets a deterministic child seed of ``base_seed``, so cells
-    are reproducible independently of grid shape.
+    Each cell gets the deterministic child seed :func:`cell_seed`
+    ``(base_seed, index)`` with ``index`` in scheme-major order (see
+    there), so cells are reproducible independently of grid shape and of
+    how the grid is executed.
+
+    ``n_jobs`` runs cells in worker processes (``concurrent.futures``);
+    ``None`` or ``1`` keeps the serial path.  Results are returned in the
+    same scheme-major order with the same per-cell seeds either way, so a
+    parallel grid is record-for-record identical to a serial one.
+    Parallel execution requires every scheme's name to round-trip through
+    ``make_scheme`` (all Table 1 schemes do; baseline schemes with
+    opaque factories must use the serial path).
     """
-    records: list[GridRecord] = []
+    grid_schemes = [make_scheme(s) if isinstance(s, str) else s for s in schemes]
+    cells: list[tuple[Scheme, int, int, int]] = []
     index = 0
-    for spec in schemes:
-        scheme = make_scheme(spec) if isinstance(spec, str) else spec
+    for scheme in grid_schemes:
         for n_pes in pes:
             for total_work in works:
-                child = spawn_child(base_seed, index)
+                cells.append((scheme, n_pes, total_work, cell_seed(base_seed, index)))
                 index += 1
-                metrics = run_divisible(
-                    scheme,
-                    total_work,
-                    n_pes,
-                    cost_model=cost_model,
-                    splitter=splitter,
-                    seed=int(child.integers(0, 2**31 - 1)),
-                    init_threshold=init_threshold,
-                )
-                records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
+
+    if n_jobs is not None and n_jobs > 1:
+        for scheme, _, _, _ in cells:
+            try:
+                make_scheme(scheme.name)
+            except ValueError:
+                raise ValueError(
+                    f"scheme {scheme.name!r} cannot be rebuilt from its spec; "
+                    "run_grid(n_jobs>1) supports spec-named schemes only — "
+                    "use the serial path"
+                ) from None
+        payloads = [
+            (scheme.name, total_work, n_pes, seed, cost_model, splitter, init_threshold)
+            for scheme, n_pes, total_work, seed in cells
+        ]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            all_metrics = list(pool.map(_run_grid_cell, payloads))
+        return [
+            GridRecord(scheme.name, n_pes, total_work, metrics)
+            for (scheme, n_pes, total_work, _), metrics in zip(cells, all_metrics)
+        ]
+
+    records: list[GridRecord] = []
+    for scheme, n_pes, total_work, seed in cells:
+        metrics = run_divisible(
+            scheme,
+            total_work,
+            n_pes,
+            cost_model=cost_model,
+            splitter=splitter,
+            seed=seed,
+            init_threshold=init_threshold,
+        )
+        records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
     return records

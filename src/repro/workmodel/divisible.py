@@ -10,6 +10,12 @@ land in the regime of Tables 2-5 at the paper's own P and W.
 Everything is vectorized: a cycle is O(P) numpy work, and a full
 paper-scale run (P = 8192, W = 1.6e7, ~3000 cycles) takes well under a
 second.
+
+The busy/idle/expanding masks are cached between mutations: one scheduler
+cycle reads them up to six times (trigger state, sanitizer, matcher), and
+each used to pay a fresh O(P) comparison.  Code that writes ``work``
+directly (tests, profiles) must call :meth:`DivisibleWorkload.invalidate_masks`
+before re-reading masks it has already read.
 """
 
 from __future__ import annotations
@@ -66,24 +72,42 @@ class DivisibleWorkload:
         else:
             raise ValueError(f"initial must be 'root' or 'uniform', got {initial!r}")
         self._expanded = 0
+        self._mask_cache: dict[str, np.ndarray] = {}
 
     # -- Workload protocol ------------------------------------------------
 
+    def invalidate_masks(self) -> None:
+        """Drop cached masks after writing ``work`` directly."""
+        self._mask_cache.clear()
+
+    def _mask(self, kind: str) -> np.ndarray:
+        mask = self._mask_cache.get(kind)
+        if mask is None:
+            if kind == "expanding":
+                mask = self.work > 0
+            elif kind == "busy":
+                mask = self.work >= 2
+            else:
+                mask = self.work == 0
+            self._mask_cache[kind] = mask
+        return mask
+
     def expanding_mask(self) -> np.ndarray:
         """PEs holding at least one node expand every cycle."""
-        return self.work > 0
+        return self._mask("expanding")
 
     def busy_mask(self) -> np.ndarray:
         """PEs with >= 2 nodes can split (Section 2's busy definition)."""
-        return self.work >= 2
+        return self._mask("busy")
 
     def idle_mask(self) -> np.ndarray:
         """PEs with no work receive during LB phases."""
-        return self.work == 0
+        return self._mask("idle")
 
     def expand_cycle(self) -> int:
-        active = self.work > 0
+        active = self._mask("expanding")
         n = int(active.sum())
+        self._mask_cache = {}
         if n:
             np.subtract(self.work, 1, out=self.work, where=active)
             self._expanded += n
@@ -96,6 +120,7 @@ class DivisibleWorkload:
             raise ValueError("donors and receivers must pair one-to-one")
         if len(donors) == 0:
             return 0
+        self._mask_cache = {}
         # Matching guarantees donors were busy and receivers idle when the
         # masks were read; nothing expands between matching and transfer,
         # so this only guards against caller misuse.

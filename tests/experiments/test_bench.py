@@ -1,0 +1,53 @@
+"""Smoke tests for the ``python -m repro bench`` harness (tiny sizes)."""
+
+import json
+
+from repro.experiments.bench import (
+    bench_expand_kernel,
+    bench_full_run,
+    bench_grid,
+    run_bench,
+)
+
+
+class TestKernelBench:
+    def test_reports_all_variants(self):
+        report = bench_expand_kernel(
+            n_pes=32, work_per_pe=40, warm_cycles=16, time_cycles=5
+        )
+        assert set(report["backends"]) == {"list-pernode", "list-batched", "arena"}
+        for row in report["backends"].values():
+            assert row["nodes_per_s"] > 0
+            assert row["ms_per_cycle"] > 0
+        assert report["speedup_arena_vs_list"] > 0
+
+
+class TestFullRunBench:
+    def test_backends_bit_identical(self):
+        report = bench_full_run(n_pes=32, work_per_pe=40)
+        assert report["metrics_identical"] is True
+        assert report["seconds"]["arena"] > 0
+
+
+class TestGridBench:
+    def test_parallel_matches_serial(self):
+        report = bench_grid(n_jobs=2, works=(1_000, 2_000), pes=(16,))
+        assert report["cells"] == 4
+        assert report["records_identical"] is True
+        assert report["serial_s"] > 0 and report["parallel_s"] > 0
+
+
+class TestRunBench:
+    def test_writes_json_report(self, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        report = run_bench(smoke=True, n_pes=32, n_jobs=2, out=out)
+        persisted = json.loads(out.read_text())
+        assert persisted["schema"] == 1
+        assert persisted["smoke"] is True
+        assert persisted["host"]["cpu_count"] >= 1
+        assert (
+            persisted["kernels"]["expand_cycle"]["speedup_arena_vs_list"]
+            == report["kernels"]["expand_cycle"]["speedup_arena_vs_list"]
+        )
+        assert persisted["kernels"]["full_run"]["metrics_identical"] is True
+        assert persisted["grid"]["records_identical"] is True

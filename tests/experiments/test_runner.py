@@ -1,10 +1,12 @@
 import pytest
 
+from repro.baselines.fess_fegs import fess_scheme
 from repro.core.config import make_scheme
 from repro.experiments.runner import (
     PAPER_SCALE,
     SMALL_SCALE,
     TINY_SCALE,
+    cell_seed,
     default_init_threshold,
     run_divisible,
     run_grid,
@@ -76,3 +78,43 @@ class TestRunGrid:
     def test_efficiency_property(self):
         records = run_grid(["GP-S0.75"], [5_000], [16])
         assert records[0].efficiency == records[0].metrics.efficiency
+
+    def test_seeds_are_scheme_major(self):
+        """Regression: cell i's metrics equal a direct run_divisible with
+        cell_seed(base, i), i enumerated scheme-major (scheme, P, W) — the
+        order the docstring promises and parallel execution must keep."""
+        schemes, works, pes, base = ["GP-S0.75", "nGP-S0.75"], [2_000, 4_000], [16, 32], 9
+        records = run_grid(schemes, works, pes, base_seed=base)
+        index = 0
+        for spec in schemes:
+            for n_pes in pes:
+                for total_work in works:
+                    direct = run_divisible(
+                        spec, total_work, n_pes, seed=cell_seed(base, index)
+                    )
+                    assert records[index].scheme == make_scheme(spec).name
+                    assert records[index].n_pes == n_pes
+                    assert records[index].total_work == total_work
+                    assert records[index].metrics == direct
+                    index += 1
+
+
+class TestRunGridParallel:
+    def test_parallel_records_identical_to_serial(self):
+        schemes, works, pes = ["GP-S0.75", "GP-DK"], [2_000, 4_000], [16]
+        serial = run_grid(schemes, works, pes, base_seed=5)
+        parallel = run_grid(schemes, works, pes, base_seed=5, n_jobs=2)
+        assert serial == parallel
+
+    def test_n_jobs_one_is_serial(self):
+        a = run_grid(["GP-S0.75"], [2_000], [16], base_seed=2)
+        b = run_grid(["GP-S0.75"], [2_000], [16], base_seed=2, n_jobs=1)
+        assert a == b
+
+    def test_unroundtrippable_scheme_rejected(self):
+        with pytest.raises(ValueError, match="serial"):
+            run_grid([fess_scheme()], [2_000], [16], n_jobs=2)
+
+    def test_unroundtrippable_scheme_fine_serially(self):
+        records = run_grid([fess_scheme()], [2_000], [16])
+        assert len(records) == 1

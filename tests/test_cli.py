@@ -1,3 +1,5 @@
+import json
+
 import pytest
 
 from repro.cli import main
@@ -91,6 +93,27 @@ class TestGridIsoeff:
         capsys.readouterr()
         assert main(["isoeff", str(store), "--target", "0.999"]) == 0
         assert "not bracketed" in capsys.readouterr().out
+
+    def test_grid_parallel_jobs(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+        args = ["--schemes", "GP-S0.75", "--works", "2000", "4000", "--pes", "16"]
+        assert main(["grid", str(serial), *args]) == 0
+        assert main(["grid", str(parallel), *args, "--jobs", "2"]) == 0
+        assert serial.read_text() == parallel.read_text()
+
+
+class TestBench:
+    def test_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        assert main(
+            ["bench", "--smoke", "--pes", "32", "--jobs", "2", "--out", str(out)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "expand_cycle kernel" in printed
+        assert "record-identical: True" in printed
+        report = json.loads(out.read_text())
+        assert report["smoke"] is True
+        assert report["kernels"]["full_run"]["metrics_identical"] is True
 
 
 class TestTableFigure:

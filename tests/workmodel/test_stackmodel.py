@@ -1,3 +1,5 @@
+from collections import deque
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -12,7 +14,7 @@ from repro.workmodel.stackmodel import StackWorkload
 class TestConstruction:
     def test_root_on_pe_zero(self):
         wl = StackWorkload(100, 4, rng=0)
-        assert wl.stacks[0] == [100]
+        assert list(wl.stacks[0]) == [100]
         assert all(not s for s in wl.stacks[1:])
 
     def test_validation(self):
@@ -20,17 +22,31 @@ class TestConstruction:
             StackWorkload(0, 4)
         with pytest.raises(ValueError):
             StackWorkload(10, 4, leaf_probability=1.0)
+        with pytest.raises(ValueError, match="backend"):
+            StackWorkload(10, 4, backend="gpu")
+        with pytest.raises(ValueError, match="sampler"):
+            StackWorkload(10, 4, sampler="antithetic")
+        with pytest.raises(ValueError, match="arena"):
+            StackWorkload(10, 4, backend="arena", sampler="pernode")
 
 
 class TestMasks:
     def test_busy_needs_two_stack_nodes(self):
         wl = StackWorkload(100, 3, rng=0)
-        wl.stacks[0] = [50]       # one huge subtree: expanding, NOT busy
-        wl.stacks[1] = [2, 3]     # two entries: busy
-        wl.stacks[2] = []
+        wl.stacks[0] = deque([50])    # one huge subtree: expanding, NOT busy
+        wl.stacks[1] = deque([2, 3])  # two entries: busy
+        wl.stacks[2] = deque()
+        wl.invalidate_masks()
         assert np.array_equal(wl.expanding_mask(), [True, True, False])
         assert np.array_equal(wl.busy_mask(), [False, True, False])
         assert np.array_equal(wl.idle_mask(), [False, False, True])
+
+    def test_invalidate_masks_after_direct_mutation(self):
+        wl = StackWorkload(100, 2, rng=0)
+        assert np.array_equal(wl.idle_mask(), [False, True])
+        wl.stacks[1] = deque([4, 5])
+        wl.invalidate_masks()
+        assert np.array_equal(wl.idle_mask(), [False, False])
 
 
 class TestExpansion:
@@ -56,22 +72,22 @@ class TestExpansion:
 class TestTransfer:
     def test_bottom_of_stack_donated(self):
         wl = StackWorkload(100, 2, rng=0)
-        wl.stacks[0] = [40, 10, 5]
-        wl.stacks[1] = []
+        wl.stacks[0] = deque([40, 10, 5])
+        wl.stacks[1] = deque()
         moved = wl.transfer(np.array([0]), np.array([1]))
         assert moved == 1
-        assert wl.stacks[0] == [10, 5]
-        assert wl.stacks[1] == [40]
+        assert list(wl.stacks[0]) == [10, 5]
+        assert list(wl.stacks[1]) == [40]
 
     def test_refuses_unsplittable_donor(self):
         wl = StackWorkload(100, 2, rng=0)
-        wl.stacks[0] = [100]
+        wl.stacks[0] = deque([100])
         assert wl.transfer(np.array([0]), np.array([1])) == 0
 
     def test_refuses_nonidle_receiver(self):
         wl = StackWorkload(100, 2, rng=0)
-        wl.stacks[0] = [40, 10]
-        wl.stacks[1] = [3]
+        wl.stacks[0] = deque([40, 10])
+        wl.stacks[1] = deque([3])
         assert wl.transfer(np.array([0]), np.array([1])) == 0
 
     def test_shape_mismatch(self):
