@@ -95,10 +95,25 @@ def test_stack_arena_full_run(benchmark):
     assert wl.done() and wl.total_expanded() == 500_000
 
 
-def test_puzzle_expand_cycle(benchmark):
+@pytest.mark.parametrize("backend", ["list", "arena"])
+def test_puzzle_expand_cycle(benchmark, backend):
     puzzle = BENCH_INSTANCES["small"]
-    wl = SearchWorkload(puzzle, 40, 64)
+    wl = SearchWorkload(puzzle, 40, 64, backend=backend)
     # Warm the stacks so the cycle touches many PEs.
     for _ in range(30):
         wl.expand_cycle()
     benchmark(wl.expand_cycle)
+
+
+def test_puzzle_arena_full_ida(benchmark):
+    # A complete parallel IDA* run on the vectorized backend: the
+    # end-to-end number behind BENCH_search.json's full_ida section.
+    from repro.search.parallel import ParallelIDAStar
+
+    def run():
+        return ParallelIDAStar(
+            BENCH_INSTANCES["small"], 256, "GP-S0.75", backend="arena"
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.solution_cost is not None

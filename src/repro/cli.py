@@ -8,8 +8,9 @@ Commands:
   / tsp) with parallel search on the simulated machine.
 - ``xo`` — the Equation 18 optimal static trigger for a configuration.
 - ``table`` / ``figure`` — regenerate a paper table or figure.
-- ``bench`` — time the hot kernels and a small grid; writes
-  ``BENCH_kernels.json`` for the perf trajectory.
+- ``bench`` — time the hot kernels, the real-search backends and a
+  small grid; writes ``BENCH_kernels.json`` and ``BENCH_search.json``
+  for the perf trajectory.
 - ``lint`` — the SIMD-discipline static checks (rules R001-R004).
 
 Every command prints plain text and exits non-zero on bad arguments, so
@@ -94,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser(
-        "bench", help="time the hot kernels; write BENCH_kernels.json"
+        "bench",
+        help="time the hot kernels; write BENCH_kernels.json + BENCH_search.json",
     )
     bench.add_argument(
         "--smoke", action="store_true",
@@ -111,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", default=None,
         help="report path (default: BENCH_kernels.json in the cwd)",
+    )
+    bench.add_argument(
+        "--search-out", default=None,
+        help="search report path (default: BENCH_search.json in the cwd)",
+    )
+    bench.add_argument(
+        "--no-search", action="store_true",
+        help="skip the real-search section (stack-model kernels only)",
     )
 
     iso = sub.add_parser(
@@ -312,14 +322,34 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import BENCH_PATH, render_bench, run_bench
+    from repro.experiments.bench import (
+        BENCH_PATH,
+        BENCH_SEARCH_PATH,
+        render_bench,
+        render_search_bench,
+        run_bench,
+    )
 
     out = args.out if args.out is not None else BENCH_PATH
+    search_out = (
+        None
+        if args.no_search
+        else (args.search_out if args.search_out is not None else BENCH_SEARCH_PATH)
+    )
     report = run_bench(
-        smoke=args.smoke, n_pes=args.pes, n_jobs=args.jobs, seed=args.seed, out=out
+        smoke=args.smoke,
+        n_pes=args.pes,
+        n_jobs=args.jobs,
+        seed=args.seed,
+        out=out,
+        search_out=search_out,
     )
     print(render_bench(report))
-    print(f"\nreport written to {out}")
+    if search_out is not None:
+        print(render_search_bench(report["search_report"]))
+        print(f"\nreports written to {out} and {search_out}")
+    else:
+        print(f"\nreport written to {out}")
     return 0
 
 

@@ -16,6 +16,19 @@ numbers:
   shape) executed serially and with ``run_grid(n_jobs=...)``, plus a
   record-identity check between the two.
 
+The *search* section (written separately as ``BENCH_search.json``)
+covers the real 15-puzzle workload the same way:
+
+- **search expansion kernel** — ``SearchWorkload.expand_cycle``
+  throughput per backend (plain list, list with the heuristic memo,
+  flat arena) from identically warmed stack states, with backend
+  bit-identity (per-PE counts, expansions, next bound) asserted on the
+  timed states in the same run.
+- **full parallel IDA*** — a complete run on a fixed bench instance per
+  backend, asserting expansion-count/bound/solution identity across
+  backends and against serial IDA*, and reporting the list backend's
+  heuristic-memo hit rate.
+
 All wall-clock numbers are host measurements, so the JSON embeds the
 host fingerprint (platform, Python, numpy, CPU count); a grid speedup
 only means something relative to ``cpu_count``.
@@ -39,14 +52,20 @@ from repro.workmodel.stackmodel import StackWorkload
 
 __all__ = [
     "BENCH_PATH",
+    "BENCH_SEARCH_PATH",
     "bench_expand_kernel",
     "bench_full_run",
     "bench_grid",
+    "bench_search_kernel",
+    "bench_search_full",
     "run_bench",
+    "run_search_bench",
     "render_bench",
+    "render_search_bench",
 ]
 
 BENCH_PATH = "BENCH_kernels.json"
+BENCH_SEARCH_PATH = "BENCH_search.json"
 
 #: (backend, sampler) variants timed by the kernel/full-run benches.
 _VARIANTS = (
@@ -186,6 +205,198 @@ def bench_grid(
     }
 
 
+# -- real-search benches (the BENCH_search.json section) -------------------
+
+#: (name, backend, memo) variants timed by the search kernel bench.
+_SEARCH_VARIANTS = (
+    ("list", "list", False),
+    ("list-memo", "list", True),
+    ("arena", "arena", False),
+)
+
+
+def _search_h_memo(problem, memo: bool):
+    from repro.search.memo import HeuristicMemo
+
+    return HeuristicMemo(problem.heuristic) if memo else None
+
+
+def _warmed_search_workload(
+    problem, bound: int, backend: str, memo: bool, *, n_pes: int, warm_cycles: int
+):
+    """A ``SearchWorkload`` after ``warm_cycles`` scheduled spread cycles.
+
+    The warmup is deterministic and identical across variants (same
+    instance, bound and scheme), so every backend is timed from the same
+    — vector-identical — stack state.
+    """
+    from repro.search.parallel import SearchWorkload
+
+    workload = SearchWorkload(
+        problem, bound, n_pes, backend=backend, h_memo=_search_h_memo(problem, memo)
+    )
+    machine = SimdMachine(n_pes, CostModel())
+    Scheduler(
+        workload, machine, "GP-S0.75", init_threshold=0.9, max_cycles=warm_cycles
+    ).run()
+    return workload
+
+
+def bench_search_kernel(
+    *,
+    n_pes: int = 1024,
+    scramble: int = 44,
+    instance_seed: int = 505,
+    bound_slack: int = 20,
+    warm_cycles: int = 96,
+    time_cycles: int = 48,
+) -> dict:
+    """Throughput of the real-search ``expand_cycle`` per backend.
+
+    One fixed 15-puzzle instance, one generous cost bound (root ``h``
+    plus ``bound_slack``, wide enough that the tree outlives the timing
+    window), warmed through the scheduler so the cycle touches ~all PEs.
+    After timing, the end states of all variants are asserted identical
+    — the timed work was the same work.
+    """
+    from repro.problems.fifteen_puzzle import scrambled_fifteen_puzzle
+
+    problem = scrambled_fifteen_puzzle(scramble, rng=instance_seed)
+    bound = problem.heuristic(problem.initial_state()) + bound_slack
+    backends: dict[str, dict] = {}
+    end_states: dict[str, tuple] = {}
+    for name, backend, memo in _SEARCH_VARIANTS:
+        workload = _warmed_search_workload(
+            problem, bound, backend, memo, n_pes=n_pes, warm_cycles=warm_cycles
+        )
+        expanded_before = workload.total_expanded()
+        cycles = 0
+        t0 = time.perf_counter()
+        while cycles < time_cycles and not workload.done():
+            workload.expand_cycle()
+            cycles += 1
+        dt = time.perf_counter() - t0
+        nodes = workload.total_expanded() - expanded_before
+        backends[name] = {
+            "cycles": cycles,
+            "nodes": nodes,
+            "nodes_per_s": nodes / dt,
+            "ms_per_cycle": dt / max(cycles, 1) * 1e3,
+        }
+        end_states[name] = (
+            workload.total_expanded(),
+            workload.next_bound,
+            workload._counts().tolist(),
+        )
+    reference = end_states["list"]
+    identical = all(state == reference for state in end_states.values())
+    if not identical:
+        raise RuntimeError(
+            "search backends diverged during the kernel bench; the timing "
+            "numbers would compare different trees"
+        )
+    return {
+        "n_pes": n_pes,
+        "scramble": scramble,
+        "bound": bound,
+        "warm_cycles": warm_cycles,
+        "time_cycles": time_cycles,
+        "backends": backends,
+        "backends_identical": identical,
+        "speedup_arena_vs_list": (
+            backends["arena"]["nodes_per_s"] / backends["list"]["nodes_per_s"]
+        ),
+        "speedup_arena_vs_list_memo": (
+            backends["arena"]["nodes_per_s"] / backends["list-memo"]["nodes_per_s"]
+        ),
+    }
+
+
+def bench_search_full(*, instance: str = "small", n_pes: int = 256) -> dict:
+    """Wall-clock of one complete parallel IDA* run per backend.
+
+    Runs the fixed bench instance to optimality on both backends,
+    asserts (in-run) that expansions, bounds and solutions are
+    identical across backends *and* match serial IDA* node for node,
+    and reports the list backend's heuristic-memo hit rate.
+    """
+    from repro.problems.fifteen_puzzle import BENCH_INSTANCES
+    from repro.search.ida_star import ida_star
+    from repro.search.parallel import ParallelIDAStar
+
+    problem = BENCH_INSTANCES[instance]
+    seconds: dict[str, float] = {}
+    results: dict[str, object] = {}
+    for backend in ("list", "arena"):
+        t0 = time.perf_counter()
+        results[backend] = ParallelIDAStar(
+            problem, n_pes, "GP-S0.75", backend=backend
+        ).run()
+        seconds[backend] = time.perf_counter() - t0
+    list_result, arena_result = results["list"], results["arena"]
+    serial = ida_star(problem)
+    identical = (
+        list_result.total_expanded == arena_result.total_expanded
+        and list_result.bounds == arena_result.bounds
+        and list_result.solution_cost == arena_result.solution_cost
+        and list_result.solutions == arena_result.solutions
+        and list_result.per_iteration_expanded == arena_result.per_iteration_expanded
+    )
+    serial_parity = (
+        list_result.total_expanded == serial.total_expanded
+        and list_result.solution_cost == serial.solution_cost
+    )
+    if not (identical and serial_parity):
+        raise RuntimeError(
+            f"parallel IDA* diverged on {instance!r}: backends identical="
+            f"{identical}, serial parity={serial_parity}"
+        )
+    return {
+        "instance": instance,
+        "n_pes": n_pes,
+        "total_expanded": list_result.total_expanded,
+        "solution_cost": list_result.solution_cost,
+        "bounds": list(list_result.bounds),
+        "seconds": seconds,
+        "speedup_arena_vs_list": seconds["list"] / seconds["arena"],
+        "backends_identical": identical,
+        "serial_parity": serial_parity,
+        "h_memo_hits": list_result.h_memo_hits,
+        "h_memo_misses": list_result.h_memo_misses,
+        "h_memo_hit_rate": list_result.h_memo_hit_rate,
+    }
+
+
+def run_search_bench(
+    *,
+    smoke: bool = False,
+    n_pes: int | None = None,
+    out: str | Path = BENCH_SEARCH_PATH,
+) -> dict:
+    """Run the real-search benches and persist ``BENCH_search.json``."""
+    if n_pes is None:
+        n_pes = 256 if smoke else 1024
+    kernel_kwargs = (
+        {"bound_slack": 14, "warm_cycles": 48, "time_cycles": 16}
+        if smoke
+        else {}
+    )
+    full_kwargs = {"instance": "tiny", "n_pes": 64} if smoke else {}
+    report = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "smoke": smoke,
+        "host": _host_info(),
+        "search": {
+            "expansion_kernel": bench_search_kernel(n_pes=n_pes, **kernel_kwargs),
+            "full_ida": bench_search_full(**full_kwargs),
+        },
+    }
+    path = Path(out)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
 def run_bench(
     *,
     smoke: bool = False,
@@ -193,12 +404,14 @@ def run_bench(
     n_jobs: int = 4,
     seed: int = 0,
     out: str | Path = BENCH_PATH,
+    search_out: str | Path | None = BENCH_SEARCH_PATH,
 ) -> dict:
-    """Run every bench and persist the JSON report to ``out``.
+    """Run every bench; persist ``out`` (kernels) and ``search_out``.
 
     ``smoke`` shrinks each bench to a few seconds total (CI uses it per
     commit); full mode is the number that the acceptance thresholds and
-    the perf trajectory track.
+    the perf trajectory track.  ``search_out=None`` skips the search
+    section.
     """
     if n_pes is None:
         n_pes = 256 if smoke else 4096
@@ -228,6 +441,8 @@ def run_bench(
     }
     path = Path(out)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if search_out is not None:
+        report["search_report"] = run_search_bench(smoke=smoke, out=search_out)
     return report
 
 
@@ -256,5 +471,34 @@ def render_bench(report: dict) -> str:
         f"serial {grid['serial_s']:.2f}s, parallel {grid['parallel_s']:.2f}s "
         f"({grid['speedup']:.2f}x on {report['host']['cpu_count']} CPUs); "
         f"record-identical: {grid['records_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def render_search_bench(report: dict) -> str:
+    """A terse human summary of one search-bench report."""
+    kernel = report["search"]["expansion_kernel"]
+    full = report["search"]["full_ida"]
+    lines = [
+        f"search expand_cycle kernel @ P={kernel['n_pes']}, "
+        f"bound={kernel['bound']}:",
+    ]
+    for name, row in kernel["backends"].items():
+        lines.append(
+            f"  {name:13s} {row['nodes_per_s']:>12,.0f} nodes/s"
+            f"  ({row['ms_per_cycle']:.3f} ms/cycle)"
+        )
+    lines += [
+        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x"
+        f" (vs list-memo: {kernel['speedup_arena_vs_list_memo']:.1f}x);"
+        f" backends identical: {kernel['backends_identical']}",
+        f"full parallel IDA* ({full['instance']}, P={full['n_pes']}, "
+        f"W={full['total_expanded']}): "
+        f"arena {full['seconds']['arena']:.2f}s, "
+        f"list {full['seconds']['list']:.2f}s "
+        f"({full['speedup_arena_vs_list']:.1f}x); "
+        f"identical: {full['backends_identical']}, "
+        f"serial parity: {full['serial_parity']}, "
+        f"h-memo hit rate: {full['h_memo_hit_rate']:.2f}",
     ]
     return "\n".join(lines)

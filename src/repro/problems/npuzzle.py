@@ -8,6 +8,16 @@ Manhattan-distance heuristic is the paper's benchmark workload
 The state carries the previous blank position so the successor generator
 can refuse to undo the last move — the standard pruning that removes the
 trivial 2-cycles of the naive tree.  Goal testing ignores that component.
+
+Besides the per-node ``SearchProblem`` interface, the puzzle exposes a
+*vectorizable* view consumed by the flat search arena
+(:mod:`repro.search.arena`): states encode to fixed-width ``uint8`` rows
+(:meth:`SlidingPuzzle.encode_state` / :meth:`~SlidingPuzzle.decode_state`)
+and three precomputed tables drive batched expansion —
+:meth:`~SlidingPuzzle.move_table` (blank destinations per position, in
+generation order), :meth:`~SlidingPuzzle.manhattan_table` (per
+tile-position Manhattan contributions, the delta table for O(1)
+incremental ``h`` updates), and :meth:`~SlidingPuzzle.goal_row`.
 """
 
 from __future__ import annotations
@@ -217,6 +227,72 @@ class SlidingPuzzle(SearchProblem):
         if self.heuristic_name == "linear_conflict":
             total += linear_conflicts(tiles, self.side)
         return total
+
+    # -- vectorizable view (consumed by repro.search.arena) -----------------
+    #
+    # The arena backend recognizes problems by these methods (duck typing:
+    # no import cycle between problems/ and search/).  All tables are
+    # cached, read-only numpy arrays.
+
+    @property
+    def state_width(self) -> int:
+        """Cells per encoded state row (``side ** 2``); rows are uint8,
+        so only boards up to ``side = 16`` (tile values < 256) encode."""
+        return self.side * self.side
+
+    def supports_arena_backend(self) -> bool:
+        """True when the vectorized expansion kernel is exact for this
+        instance: the incremental delta table covers Manhattan only, and
+        tile values must fit the uint8 codec."""
+        return self.heuristic_name == "manhattan" and self.state_width <= 256
+
+    def move_table(self) -> np.ndarray:
+        """``(side^2, 4)`` int32: blank destinations per blank position,
+        padded with ``-1``, columns in *generation order* (the exact order
+        :meth:`expand` emits children) so batched and per-node expansion
+        visit identical trees."""
+        if not hasattr(self, "_move_table"):
+            n = self.state_width
+            table = np.full((n, 4), -1, dtype=np.int32)
+            for pos, moves in enumerate(self._neighbors):
+                table[pos, : len(moves)] = moves
+            table.setflags(write=False)
+            self._move_table = table
+        return self._move_table
+
+    def manhattan_table(self) -> np.ndarray:
+        """``(side^2, side^2)`` int32 ``D[tile, pos]``: tile ``tile``'s
+        Manhattan contribution when sitting at ``pos`` (row 0, the blank,
+        is all zeros).  Moving tile ``t`` from ``src`` into the blank at
+        ``dst`` changes ``h`` by ``D[t, dst] - D[t, src]`` — the O(1)
+        incremental update the arena kernel applies per child."""
+        if not hasattr(self, "_manhattan_table"):
+            table = np.asarray(self._dist, dtype=np.int32)
+            table.setflags(write=False)
+            self._manhattan_table = table
+        return self._manhattan_table
+
+    def goal_row(self) -> np.ndarray:
+        """The goal layout as an encoded uint8 row (vector goal tests)."""
+        if not hasattr(self, "_goal_row"):
+            row = np.asarray(self.goal_tiles, dtype=np.uint8)
+            row.setflags(write=False)
+            self._goal_row = row
+        return self._goal_row
+
+    def encode_state(self, state: PuzzleState) -> tuple[np.ndarray, int, int]:
+        """Encode a :class:`PuzzleState` as ``(tiles_row, blank, prev)``
+        with ``tiles_row`` a ``(side^2,)`` uint8 array."""
+        return np.asarray(state.tiles, dtype=np.uint8), state.blank, state.prev_blank
+
+    def decode_state(
+        self, tiles_row: np.ndarray, blank: int, prev_blank: int
+    ) -> PuzzleState:
+        """Inverse of :meth:`encode_state` (arena snapshots back to the
+        hashable per-node representation)."""
+        return PuzzleState(
+            tuple(int(t) for t in tiles_row), int(blank), int(prev_blank)
+        )
 
     # -- instance utilities --------------------------------------------------
 

@@ -8,10 +8,37 @@ donation hands over the alternative at the bottom of a stack (Section 5's
 deepening driver, sharing one machine ledger across iterations so the
 reported efficiency covers the whole run.
 
+Two storage backends implement the same workload, mirroring the
+``StackWorkload`` split:
+
+- ``backend="list"`` — one :class:`~repro.search.stack.DFSStack` per PE,
+  expanded in a per-PE Python loop.  The transparent oracle; works with
+  any :class:`~repro.search.problem.SearchProblem`, optionally caching
+  ``h`` through a :class:`~repro.search.memo.HeuristicMemo`.
+- ``backend="arena"`` — all stacks packed into one
+  :class:`~repro.search.arena.SearchArena`; a cycle pops every non-empty
+  top, goal-tests, generates children from the problem's precomputed
+  move table, updates ``h`` incrementally via the Manhattan delta table
+  (O(1) per move instead of an O(side^2) recompute), bound-prunes and
+  pushes — all in a handful of full-width numpy kernels.  Requires a
+  vectorizable problem (:class:`~repro.problems.npuzzle.SlidingPuzzle`
+  with the Manhattan heuristic, any side).
+
+Both backends expand the *same* deterministic tree, so full runs are
+expansion-count- and solution-identical — the anomaly-free property of
+the paper's setup makes this a hard equality, asserted scheme by scheme
+in the integration suite.
+
 Because each iteration runs its bound to exhaustion (all solutions up to
 the bound are collected), the number of nodes expanded is *identical* to
 serial IDA*'s — the paper's anomaly-free setup, asserted by the
 integration tests.
+
+Busy/idle/expanding masks derive from one cached per-PE entry count,
+invalidated on every mutation; code that mutates ``stacks`` directly
+must call :meth:`SearchWorkload.invalidate_masks` before re-reading
+masks (the convention ``StackWorkload``/``DivisibleWorkload`` already
+follow).
 """
 
 from __future__ import annotations
@@ -23,6 +50,8 @@ import numpy as np
 from repro.core.config import Scheme, make_scheme
 from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
+from repro.search.arena import BLANK_COL, G_COL, H_COL, PREV_COL, SearchArena
+from repro.search.memo import HeuristicMemo
 from repro.search.problem import SearchProblem
 from repro.search.stack import DFSStack, StackEntry
 from repro.simd.cost import CostModel
@@ -34,6 +63,18 @@ __all__ = [
     "ParallelSearchResult",
     "parallel_depth_bounded",
 ]
+
+#: Methods a problem must provide for the vectorized arena backend
+#: (duck-typed so problems/ and search/ stay import-cycle-free).
+_ARENA_PROTOCOL = (
+    "supports_arena_backend",
+    "state_width",
+    "move_table",
+    "manhattan_table",
+    "goal_row",
+    "encode_state",
+    "decode_state",
+)
 
 
 class SearchWorkload:
@@ -55,6 +96,15 @@ class SearchWorkload:
         Stop at the cycle boundary after any PE finds a goal — the mode
         with speedup anomalies (Rao & Kumar [33]).  The paper's
         experiments keep this off; the anomaly benchmark turns it on.
+    backend:
+        ``"list"`` (per-PE ``DFSStack`` oracle, any problem) or
+        ``"arena"`` (flat vectorized storage, sliding puzzles with the
+        Manhattan heuristic).
+    h_memo:
+        Optional :class:`~repro.search.memo.HeuristicMemo` the list
+        backend routes child-``h`` computations through (share one across
+        IDA* iterations to carry the cache over).  The arena backend
+        needs none and rejects it.
     """
 
     def __init__(
@@ -65,31 +115,114 @@ class SearchWorkload:
         *,
         split: str = "bottom",
         first_solution_only: bool = False,
+        backend: str = "list",
+        h_memo: HeuristicMemo | None = None,
     ) -> None:
         if split not in ("bottom", "half"):
             raise ValueError(f"split must be 'bottom' or 'half', got {split!r}")
+        if backend not in ("list", "arena"):
+            raise ValueError(f"backend must be 'list' or 'arena', got {backend!r}")
         self.problem = problem
-        self.bound = bound
+        self.bound = int(bound)
         self.n_pes = int(n_pes)
         self.split = split
         self.first_solution_only = first_solution_only
-
-        self.stacks = [DFSStack() for _ in range(self.n_pes)]
-        root = problem.initial_state()
-        if problem.heuristic(root) <= bound:
-            self.stacks[0] = DFSStack([StackEntry(root, 0)])
+        self.backend = backend
 
         self.expanded = 0
         self.solutions = 0
         self.goal_depths: list[int] = []
         self.next_bound: int | None = None
+        self._cached_counts: np.ndarray | None = None
+
+        self._stacks: list[DFSStack] | None = None
+        self._arena: SearchArena | None = None
+        root = problem.initial_state()
+        if backend == "arena":
+            if h_memo is not None:
+                raise ValueError(
+                    "h_memo applies to the list backend only; the arena "
+                    "updates h incrementally via the delta table"
+                )
+            missing = [a for a in _ARENA_PROTOCOL if not hasattr(problem, a)]
+            if missing:
+                raise TypeError(
+                    f"backend='arena' needs a vectorizable problem exposing "
+                    f"{missing} (see SlidingPuzzle); got "
+                    f"{type(problem).__name__}"
+                )
+            if not problem.supports_arena_backend():
+                raise ValueError(
+                    "the arena backend's delta table is exact for the "
+                    "Manhattan heuristic only; construct the puzzle with "
+                    "heuristic_name='manhattan'"
+                )
+            self._h = problem.heuristic
+            self._move_table = problem.move_table()
+            self._dist_table = problem.manhattan_table()
+            self._goal_row = problem.goal_row()
+            self._arena = SearchArena(self.n_pes, problem.state_width)
+            h0 = problem.heuristic(root)
+            if h0 <= self.bound:
+                tiles_row, blank, prev = problem.encode_state(root)
+                meta_row = np.array([0, h0, blank, prev], dtype=np.int32)
+                self._arena.push_root(0, tiles_row, meta_row)
+        else:
+            self._h = h_memo if h_memo is not None else problem.heuristic
+            self._stacks = [DFSStack() for _ in range(self.n_pes)]
+            if self._h(root) <= self.bound:
+                self._stacks[0] = DFSStack([StackEntry(root, 0)])
+
+    # -- storage views -----------------------------------------------------
+
+    @property
+    def stacks(self) -> list:
+        """The per-PE stacks.
+
+        List backend: the live list of ``DFSStack`` objects (mutable in
+        place — call :meth:`invalidate_masks` after direct edits).  Arena
+        backend: a *snapshot* — one list of decoded ``StackEntry`` per PE,
+        bottom to top; mutating it does not touch the arena.
+        """
+        if self._stacks is not None:
+            return self._stacks
+        assert self._arena is not None
+        problem = self.problem
+        out = []
+        for pe in range(self.n_pes):
+            tiles, meta = self._arena.entry_rows(pe)
+            out.append(
+                [
+                    StackEntry(
+                        problem.decode_state(
+                            tiles[i], meta[i, BLANK_COL], meta[i, PREV_COL]
+                        ),
+                        int(meta[i, G_COL]),
+                    )
+                    for i in range(len(meta))
+                ]
+            )
+        return out
+
+    def invalidate_masks(self) -> None:
+        """Drop the cached per-PE counts after direct stack mutation."""
+        self._cached_counts = None
 
     # -- Workload protocol ------------------------------------------------
 
     def _counts(self) -> np.ndarray:
-        return np.fromiter(
-            (s.node_count() for s in self.stacks), dtype=np.int64, count=self.n_pes
-        )
+        """Per-PE pending-entry counts, cached until the next mutation."""
+        if self._cached_counts is None:
+            if self._arena is not None:
+                self._cached_counts = self._arena.counts()
+            else:
+                assert self._stacks is not None
+                self._cached_counts = np.fromiter(
+                    (s.node_count() for s in self._stacks),
+                    dtype=np.int64,
+                    count=self.n_pes,
+                )
+        return self._cached_counts
 
     def expanding_mask(self) -> np.ndarray:
         return self._counts() > 0
@@ -101,10 +234,19 @@ class SearchWorkload:
         return self._counts() == 0
 
     def expand_cycle(self) -> int:
+        if self._arena is not None:
+            return self._expand_cycle_arena()
+        return self._expand_cycle_list()
+
+    def _expand_cycle_list(self) -> int:
+        stacks = self._stacks
+        assert stacks is not None
+        self._cached_counts = None
         n = 0
         problem = self.problem
+        h = self._h
         bound = self.bound
-        for stack in self.stacks:
+        for stack in stacks:
             entry = stack.pop_next()
             if entry is None:
                 continue
@@ -117,7 +259,7 @@ class SearchWorkload:
                 continue
             level: list[StackEntry] = []
             for child in problem.expand(state):
-                f = g + 1 + problem.heuristic(child)
+                f = g + 1 + h(child)
                 if f <= bound:
                     level.append(StackEntry(child, g + 1))
                 elif self.next_bound is None or f < self.next_bound:
@@ -128,20 +270,96 @@ class SearchWorkload:
             stack.push_level(level)
         return n
 
+    def _expand_cycle_arena(self) -> int:
+        arena = self._arena
+        assert arena is not None
+        pes = np.flatnonzero(self._counts() > 0)
+        n = len(pes)
+        if n == 0:
+            return 0
+        self._cached_counts = None
+        tiles, meta = arena.pop_tops(pes)
+        self.expanded += n
+
+        goal = (tiles == self._goal_row).all(axis=1)
+        if goal.any():
+            self.solutions += int(goal.sum())
+            self.goal_depths.extend(int(d) for d in meta[goal, G_COL])
+        live = ~goal
+        if not live.any():
+            arena.reset_empty_windows()
+            return n
+        pes_l = pes[live]
+        tiles_l = tiles[live]
+        g_l = meta[live, G_COL]
+        h_l = meta[live, H_COL]
+        blank_l = meta[live, BLANK_COL]
+        prev_l = meta[live, PREV_COL]
+        m = len(pes_l)
+
+        # Candidate moves: columns of the move table are the problem's
+        # generation order; -1 pads positions with fewer than 4 moves and
+        # the move undoing the parent's is forbidden (2-cycle pruning).
+        dests = self._move_table[blank_l]  # (m, 4)
+        valid = (dests >= 0) & (dests != prev_l[:, None])
+        safe = np.where(valid, dests, 0)
+        rows = np.arange(m)
+        moved = tiles_l[rows[:, None], safe]  # (m, 4) moved-tile values
+        # Incremental Manhattan: tile `moved` slides from `safe` into the
+        # blank, so h changes by D[moved, blank] - D[moved, safe].
+        dist = self._dist_table
+        child_h = h_l[:, None] + dist[moved, blank_l[:, None]] - dist[moved, safe]
+        child_f = g_l[:, None] + 1 + child_h
+        keep = valid & (child_f <= self.bound)
+        pruned = valid & ~keep
+        if pruned.any():
+            smallest = int(child_f[pruned].min())
+            if self.next_bound is None or smallest < self.next_bound:
+                self.next_bound = smallest
+
+        # Push in *reversed* generation order (walk the move columns
+        # right-to-left), so popping the flat tail visits children in
+        # generation order — same as the list backend's level reversal.
+        keep_r = keep[:, ::-1]
+        lens = keep_r.sum(axis=1, dtype=np.int64)
+        total = int(lens.sum())
+        if total:
+            ii, jj = np.nonzero(keep_r)  # row-major: per-parent reversed order
+            dest_sel = dests[:, ::-1][ii, jj]
+            flat = np.arange(total)
+            flat_tiles = tiles_l[ii]  # fancy indexing copies
+            flat_tiles[flat, blank_l[ii]] = flat_tiles[flat, dest_sel]
+            flat_tiles[flat, dest_sel] = 0
+            flat_meta = np.empty((total, 4), dtype=np.int32)
+            flat_meta[:, G_COL] = g_l[ii] + 1
+            flat_meta[:, H_COL] = child_h[:, ::-1][ii, jj]
+            flat_meta[:, BLANK_COL] = dest_sel
+            flat_meta[:, PREV_COL] = blank_l[ii]
+            arena.push_segments(pes_l, lens, flat_tiles, flat_meta)
+        arena.reset_empty_windows()
+        return n
+
     def transfer(self, donors: np.ndarray, receivers: np.ndarray) -> int:
         donors = np.asarray(donors, dtype=np.int64)
         receivers = np.asarray(receivers, dtype=np.int64)
         if donors.shape != receivers.shape:
             raise ValueError("donors and receivers must pair one-to-one")
+        if len(donors) == 0:
+            return 0
+        self._cached_counts = None
+        if self._arena is not None:
+            return self._transfer_arena(donors, receivers)
+        stacks = self._stacks
+        assert stacks is not None
         moved = 0
         for d, r in zip(donors.tolist(), receivers.tolist()):
-            donor = self.stacks[d]
-            if not donor.can_split() or not self.stacks[r].is_empty():
+            donor = stacks[d]
+            if not donor.can_split() or not stacks[r].is_empty():
                 continue
             if self.split == "bottom":
                 entry = donor.split_bottom()
                 assert entry is not None
-                self.stacks[r] = DFSStack([entry])
+                stacks[r] = DFSStack([entry])
             else:
                 donated = donor.split_half()
                 if not donated:
@@ -152,8 +370,28 @@ class SearchWorkload:
                 # level stay siblings.
                 for entry in sorted(donated, key=lambda e: e.g):
                     receiver.push_level([entry])
-                self.stacks[r] = receiver
+                stacks[r] = receiver
             moved += 1
+        return moved
+
+    def _transfer_arena(self, donors: np.ndarray, receivers: np.ndarray) -> int:
+        arena = self._arena
+        assert arena is not None
+        counts = arena.counts()
+        valid = (counts[donors] >= 2) & (counts[receivers] == 0)
+        donors = donors[valid]
+        receivers = receivers[valid]
+        if len(donors) == 0:
+            return 0
+        if self.split == "bottom":
+            arena.donate_bottoms(donors, receivers)
+            return int(len(donors))
+        moved = 0
+        # The "half" ablation re-sorts each donated window by depth; that
+        # per-pair reshuffle stays a Python loop (it is not a paper path).
+        for d, r in zip(donors.tolist(), receivers.tolist()):
+            if arena.donate_half(d, r):
+                moved += 1
         return moved
 
     def done(self) -> bool:
@@ -161,7 +399,7 @@ class SearchWorkload:
         # lock-step cycle before the global OR of goal flags is read.
         if self.first_solution_only and self.solutions > 0:
             return True
-        return all(s.is_empty() for s in self.stacks)
+        return not self._counts().any()
 
     def total_expanded(self) -> int:
         return self.expanded
@@ -178,6 +416,9 @@ def parallel_depth_bounded(
     split: str = "bottom",
     trace: bool = False,
     first_solution_only: bool = False,
+    backend: str = "list",
+    h_memo: HeuristicMemo | None = None,
+    sanitize: bool = False,
 ) -> tuple[SearchWorkload, RunMetrics]:
     """One cost-bounded parallel DFS pass (no iterative deepening).
 
@@ -190,10 +431,21 @@ def parallel_depth_bounded(
     """
     machine = SimdMachine(n_pes, cost_model if cost_model is not None else CostModel())
     workload = SearchWorkload(
-        problem, bound, n_pes, split=split, first_solution_only=first_solution_only
+        problem,
+        bound,
+        n_pes,
+        split=split,
+        first_solution_only=first_solution_only,
+        backend=backend,
+        h_memo=h_memo,
     )
     metrics = Scheduler(
-        workload, machine, scheme, init_threshold=init_threshold, trace=trace
+        workload,
+        machine,
+        scheme,
+        init_threshold=init_threshold,
+        trace=trace,
+        sanitize=sanitize,
     ).run()
     return workload, metrics
 
@@ -204,6 +456,8 @@ class ParallelSearchResult:
 
     ``total_expanded`` is the parallel ``W``; ``per_iteration_expanded``
     lets tests compare each iteration against serial IDA* exactly.
+    ``h_memo_hits``/``h_memo_misses`` report the list backend's heuristic
+    cache (both zero when the memo is off or the backend is the arena).
     """
 
     solution_cost: int | None
@@ -212,6 +466,13 @@ class ParallelSearchResult:
     bounds: tuple[int, ...]
     per_iteration_expanded: tuple[int, ...]
     metrics: RunMetrics
+    h_memo_hits: int = 0
+    h_memo_misses: int = 0
+
+    @property
+    def h_memo_hit_rate(self) -> float:
+        total = self.h_memo_hits + self.h_memo_misses
+        return self.h_memo_hits / total if total else 0.0
 
 
 class ParallelIDAStar:
@@ -234,6 +495,18 @@ class ParallelIDAStar:
         triggers); ``None`` skips the initialization phase.
     split:
         Stack donation policy, forwarded to the workload.
+    backend:
+        Stack storage, forwarded to the workload (``"list"`` or
+        ``"arena"``); both produce identical results.
+    heuristic_memo:
+        List backend only: cache child heuristics in one
+        :class:`~repro.search.memo.HeuristicMemo` shared across all
+        iterations (default on; pure-function caching cannot change the
+        search).  Ignored by the arena backend.
+    sanitize:
+        Forwarded to every iteration's
+        :class:`~repro.core.scheduler.Scheduler` — assert the lock-step
+        invariants throughout the run.
     """
 
     def __init__(
@@ -246,6 +519,9 @@ class ParallelIDAStar:
         init_threshold: float | None = None,
         split: str = "bottom",
         max_iterations: int = 100,
+        backend: str = "list",
+        heuristic_memo: bool = True,
+        sanitize: bool = False,
     ) -> None:
         self.problem = problem
         self.n_pes = int(n_pes)
@@ -254,6 +530,13 @@ class ParallelIDAStar:
         self.init_threshold = init_threshold
         self.split = split
         self.max_iterations = max_iterations
+        self.backend = backend
+        self.sanitize = sanitize
+        self.h_memo = (
+            HeuristicMemo(problem.heuristic)
+            if heuristic_memo and backend == "list"
+            else None
+        )
 
     def run(self) -> ParallelSearchResult:
         machine = SimdMachine(self.n_pes, self.cost_model)
@@ -264,13 +547,19 @@ class ParallelIDAStar:
 
         for _ in range(self.max_iterations):
             workload = SearchWorkload(
-                self.problem, bound, self.n_pes, split=self.split
+                self.problem,
+                bound,
+                self.n_pes,
+                split=self.split,
+                backend=self.backend,
+                h_memo=self.h_memo,
             )
             scheduler = Scheduler(
                 workload,
                 machine,
                 self.scheme,
                 init_threshold=self.init_threshold,
+                sanitize=self.sanitize,
             )
             last_metrics = scheduler.run()
             bounds.append(bound)
@@ -278,27 +567,37 @@ class ParallelIDAStar:
 
             if workload.solutions > 0:
                 cost = min(workload.goal_depths)
-                return ParallelSearchResult(
-                    solution_cost=cost,
-                    solutions=workload.solutions,
-                    total_expanded=sum(per_iter),
-                    bounds=tuple(bounds),
-                    per_iteration_expanded=tuple(per_iter),
-                    metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+                return self._result(
+                    cost, workload.solutions, bounds, per_iter, machine, last_metrics
                 )
             if workload.next_bound is None:
-                return ParallelSearchResult(
-                    solution_cost=None,
-                    solutions=0,
-                    total_expanded=sum(per_iter),
-                    bounds=tuple(bounds),
-                    per_iteration_expanded=tuple(per_iter),
-                    metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+                return self._result(
+                    None, 0, bounds, per_iter, machine, last_metrics
                 )
             bound = workload.next_bound
 
         raise RuntimeError(
             f"parallel IDA* did not converge within {self.max_iterations} iterations"
+        )
+
+    def _result(
+        self,
+        cost: int | None,
+        solutions: int,
+        bounds: list[int],
+        per_iter: list[int],
+        machine: SimdMachine,
+        last_metrics: RunMetrics,
+    ) -> ParallelSearchResult:
+        return ParallelSearchResult(
+            solution_cost=cost,
+            solutions=solutions,
+            total_expanded=sum(per_iter),
+            bounds=tuple(bounds),
+            per_iteration_expanded=tuple(per_iter),
+            metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+            h_memo_hits=self.h_memo.hits if self.h_memo is not None else 0,
+            h_memo_misses=self.h_memo.misses if self.h_memo is not None else 0,
         )
 
     def _final_metrics(

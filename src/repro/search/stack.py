@@ -63,6 +63,17 @@ class DFSStack:
         """Number of levels currently on the stack."""
         return len(self._levels)
 
+    def entries(self) -> list[StackEntry]:
+        """The levels concatenated bottom-to-top into one flat sequence.
+
+        This flat view is the stack's complete observable state:
+        ``pop_next`` removes its tail, ``push_level`` appends to it, and
+        ``split_bottom`` removes its head — which is why the flat search
+        arena (:mod:`repro.search.arena`) can store stacks as plain
+        windows and stay bit-identical to this class.
+        """
+        return [entry for level in self._levels for entry in level]
+
     # -- DFS operations ------------------------------------------------------
 
     def pop_next(self) -> StackEntry | None:

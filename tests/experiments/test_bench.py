@@ -6,7 +6,9 @@ from repro.experiments.bench import (
     bench_expand_kernel,
     bench_full_run,
     bench_grid,
+    bench_search_kernel,
     run_bench,
+    run_search_bench,
 )
 
 
@@ -37,10 +39,46 @@ class TestGridBench:
         assert report["serial_s"] > 0 and report["parallel_s"] > 0
 
 
+class TestSearchKernelBench:
+    def test_reports_all_backends_and_identity(self):
+        report = bench_search_kernel(
+            n_pes=32, scramble=30, bound_slack=10, warm_cycles=16, time_cycles=4
+        )
+        assert set(report["backends"]) == {"list", "list-memo", "arena"}
+        for row in report["backends"].values():
+            assert row["nodes_per_s"] > 0
+        assert report["backends_identical"] is True
+        assert report["speedup_arena_vs_list"] > 0
+
+
+class TestRunSearchBench:
+    def test_writes_json_report(self, tmp_path):
+        out = tmp_path / "BENCH_search.json"
+        report = run_search_bench(smoke=True, n_pes=32, out=out)
+        persisted = json.loads(out.read_text())
+        assert persisted["schema"] == 1
+        assert persisted["smoke"] is True
+        kernel = persisted["search"]["expansion_kernel"]
+        assert kernel["backends_identical"] is True
+        full = persisted["search"]["full_ida"]
+        assert full["backends_identical"] is True
+        assert full["serial_parity"] is True
+        assert 0.0 <= full["h_memo_hit_rate"] <= 1.0
+        assert report["search"]["full_ida"]["total_expanded"] == full["total_expanded"]
+
+
 class TestRunBench:
     def test_writes_json_report(self, tmp_path):
         out = tmp_path / "BENCH_kernels.json"
-        report = run_bench(smoke=True, n_pes=32, n_jobs=2, out=out)
+        # search_out must be redirected too: the default would overwrite
+        # the repo-root BENCH_search.json with a smoke-sized report.
+        report = run_bench(
+            smoke=True,
+            n_pes=32,
+            n_jobs=2,
+            out=out,
+            search_out=tmp_path / "BENCH_search.json",
+        )
         persisted = json.loads(out.read_text())
         assert persisted["schema"] == 1
         assert persisted["smoke"] is True
@@ -51,3 +89,15 @@ class TestRunBench:
         )
         assert persisted["kernels"]["full_run"]["metrics_identical"] is True
         assert persisted["grid"]["records_identical"] is True
+        assert report["search_report"]["search"]["expansion_kernel"][
+            "backends_identical"
+        ]
+        assert (tmp_path / "BENCH_search.json").exists()
+
+    def test_no_search_skips_search_report(self, tmp_path):
+        report = run_bench(
+            smoke=True, n_pes=32, n_jobs=2,
+            out=tmp_path / "k.json", search_out=None,
+        )
+        assert "search_report" not in report
+        assert not (tmp_path / "BENCH_search.json").exists()

@@ -1,0 +1,74 @@
+"""Cross-backend equivalence for the *real* search: arena vs list IDA*.
+
+The synthetic stack model's arena is RNG-stream-identical to its list
+backend (``test_backend_equivalence.py``); the search arena makes the
+stronger deterministic claim — no RNG at all, the two backends expand
+literally the same tree.  Full :class:`ParallelIDAStar` runs over the
+benchmark 15-puzzle instances must therefore agree exactly, scheme for
+scheme, across {nGP, GP} x {S^x, D_K}, with the runtime sanitizer
+asserting the lock-step invariants throughout; and because every
+iteration exhausts its bound (all solutions up to the bound), the
+parallel expansion counts equal serial IDA*'s node-for-node — the
+paper's anomaly-free setup.
+"""
+
+import pytest
+
+from repro.experiments.runner import default_init_threshold
+from repro.problems.fifteen_puzzle import BENCH_INSTANCES
+from repro.search.ida_star import ida_star
+from repro.search.parallel import ParallelIDAStar
+
+INSTANCES = ("tiny", "small")
+SCHEMES = ("nGP-S0.75", "GP-S0.75", "nGP-DK", "GP-DK")
+N_PES = 64
+
+_serial_cache: dict[str, object] = {}
+
+
+def _serial(instance: str):
+    if instance not in _serial_cache:
+        _serial_cache[instance] = ida_star(BENCH_INSTANCES[instance])
+    return _serial_cache[instance]
+
+
+def _parallel(instance: str, scheme: str, backend: str):
+    return ParallelIDAStar(
+        BENCH_INSTANCES[instance],
+        N_PES,
+        scheme,
+        init_threshold=default_init_threshold(scheme),
+        backend=backend,
+        sanitize=True,
+    ).run()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("instance", INSTANCES)
+def test_arena_matches_list_exactly(instance, scheme):
+    """The hard equality: full-run results identical between backends."""
+    list_res = _parallel(instance, scheme, "list")
+    arena_res = _parallel(instance, scheme, "arena")
+    assert arena_res.total_expanded == list_res.total_expanded
+    assert arena_res.bounds == list_res.bounds
+    assert arena_res.per_iteration_expanded == list_res.per_iteration_expanded
+    assert arena_res.solution_cost == list_res.solution_cost
+    assert arena_res.solutions == list_res.solutions
+    # Same cycles, same LB phases, same ledger: metrics agree too (the
+    # memo counters are outside RunMetrics, so this is backend-blind).
+    assert arena_res.metrics == list_res.metrics
+
+
+@pytest.mark.parametrize("backend", ["list", "arena"])
+@pytest.mark.parametrize("instance", INSTANCES)
+def test_parallel_matches_serial_ida_star(instance, backend):
+    """Anomaly-free setup: parallel W == serial W, iteration by
+    iteration, and the optimal cost agrees."""
+    serial = _serial(instance)
+    result = _parallel(instance, "GP-DK", backend)
+    assert result.solution_cost == serial.solution_cost
+    assert result.bounds == serial.bounds
+    assert result.per_iteration_expanded == tuple(
+        it.expanded for it in serial.iterations
+    )
+    assert result.total_expanded == serial.total_expanded

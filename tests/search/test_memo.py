@@ -1,0 +1,78 @@
+"""Tests for the bounded heuristic memo (list-backend cache)."""
+
+import pytest
+
+from repro.problems.npuzzle import SlidingPuzzle
+from repro.search.memo import HeuristicMemo
+from repro.search.parallel import ParallelIDAStar
+
+
+class TestHeuristicMemo:
+    def test_counts_hits_and_misses(self):
+        calls = []
+
+        def h(state):
+            calls.append(state)
+            return len(state)
+
+        memo = HeuristicMemo(h)
+        assert memo("abc") == 3
+        assert memo("abc") == 3
+        assert memo("x") == 1
+        assert (memo.hits, memo.misses) == (1, 2)
+        assert calls == ["abc", "x"]
+        assert memo.hit_rate == pytest.approx(1 / 3)
+
+    def test_zero_value_is_cached(self):
+        """h = 0 (a goal state) must hit the cache, not re-miss: the
+        lookup distinguishes 'absent' from 'cached falsy value'."""
+        memo = HeuristicMemo(lambda s: 0)
+        memo("goal")
+        memo("goal")
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_unused_hit_rate_is_zero(self):
+        assert HeuristicMemo(lambda s: 1).hit_rate == 0.0
+
+    def test_bounded_by_halving_eviction(self):
+        memo = HeuristicMemo(lambda s: s, max_entries=8)
+        for i in range(40):
+            memo(i)
+        assert len(memo) <= 8
+        # The newest insertions survive; the oldest half was dropped.
+        memo(39)
+        assert memo.hits == 1
+
+    def test_evicted_entries_recompute(self):
+        calls = []
+
+        def h(state):
+            calls.append(state)
+            return state
+
+        memo = HeuristicMemo(h, max_entries=4)
+        for i in range(8):
+            memo(i)
+        memo(0)  # evicted -> recomputed
+        assert calls.count(0) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            HeuristicMemo(lambda s: 0, max_entries=0)
+
+
+def test_memo_does_not_change_search_results():
+    """Caching a pure h is invisible to the search: identical expansion
+    counts, bounds, and solutions with the memo on or off."""
+    problem = SlidingPuzzle.scrambled(4, 16, rng=11)
+    on = ParallelIDAStar(problem, 32, "GP-S0.75", heuristic_memo=True).run()
+    off = ParallelIDAStar(problem, 32, "GP-S0.75", heuristic_memo=False).run()
+    assert on.total_expanded == off.total_expanded
+    assert on.bounds == off.bounds
+    assert on.per_iteration_expanded == off.per_iteration_expanded
+    assert on.solution_cost == off.solution_cost
+    assert on.solutions == off.solutions
+    # The run actually exercised the cache, and the result surfaces it.
+    assert on.h_memo_hits > 0
+    assert on.h_memo_hit_rate > 0.0
+    assert (off.h_memo_hits, off.h_memo_misses) == (0, 0)

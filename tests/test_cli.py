@@ -103,17 +103,35 @@ class TestGridIsoeff:
 
 
 class TestBench:
-    def test_smoke_writes_report(self, tmp_path, capsys):
+    def test_smoke_writes_reports(self, tmp_path, capsys):
         out = tmp_path / "BENCH_kernels.json"
+        search_out = tmp_path / "BENCH_search.json"
+        # --search-out keeps the test from overwriting the repo-root
+        # BENCH_search.json (the committed full-scale report).
         assert main(
-            ["bench", "--smoke", "--pes", "32", "--jobs", "2", "--out", str(out)]
+            ["bench", "--smoke", "--pes", "32", "--jobs", "2",
+             "--out", str(out), "--search-out", str(search_out)]
         ) == 0
         printed = capsys.readouterr().out
         assert "expand_cycle kernel" in printed
         assert "record-identical: True" in printed
+        assert "search expand_cycle kernel" in printed
         report = json.loads(out.read_text())
         assert report["smoke"] is True
         assert report["kernels"]["full_run"]["metrics_identical"] is True
+        search = json.loads(search_out.read_text())
+        assert search["search"]["expansion_kernel"]["backends_identical"] is True
+        assert search["search"]["full_ida"]["serial_parity"] is True
+
+    def test_no_search_skips_search_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        assert main(
+            ["bench", "--smoke", "--pes", "32", "--jobs", "2",
+             "--out", str(out), "--no-search"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "search expand_cycle kernel" not in printed
+        assert not (tmp_path / "BENCH_search.json").exists()
 
 
 class TestTableFigure:
