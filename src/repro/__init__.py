@@ -69,6 +69,23 @@ from repro.analysis import (
     growth_exponent,
 )
 from repro.experiments.runner import run_divisible, run_grid, PAPER_SCALE, SMALL_SCALE
+from repro.errors import (
+    ReproError,
+    ConfigError,
+    FaultInjectionError,
+    CheckpointCorruptError,
+    GridCellError,
+)
+from repro.faults import (
+    FaultPlan,
+    PEFailure,
+    Straggler,
+    FaultReport,
+    CheckpointConfig,
+    write_checkpoint,
+    load_checkpoint,
+    resume_run,
+)
 from repro.lint import Finding, LintResult, run_lint
 from repro.lint.runtime import SanitizerError
 
@@ -118,6 +135,19 @@ __all__ = [
     "run_grid",
     "PAPER_SCALE",
     "SMALL_SCALE",
+    "ReproError",
+    "ConfigError",
+    "FaultInjectionError",
+    "CheckpointCorruptError",
+    "GridCellError",
+    "FaultPlan",
+    "PEFailure",
+    "Straggler",
+    "FaultReport",
+    "CheckpointConfig",
+    "write_checkpoint",
+    "load_checkpoint",
+    "resume_run",
     "Finding",
     "LintResult",
     "run_lint",

@@ -3,7 +3,9 @@
 Commands:
 
 - ``schemes`` — list the Table 1 scheme registry.
-- ``run`` — one load-balancing run over the divisible workload.
+- ``run`` — one load-balancing run over the divisible workload; supports
+  fault injection (``--faults``) and checkpoint/resume (``--checkpoint``,
+  ``--resume``).
 - ``solve`` — solve a real problem instance (puzzle / queens / knapsack
   / tsp) with parallel search on the simulated machine.
 - ``xo`` — the Equation 18 optimal static trigger for a configuration.
@@ -37,7 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("schemes", help="list the Table 1 load-balancing schemes")
 
     run = sub.add_parser("run", help="run a scheme over the divisible workload")
-    run.add_argument("scheme", help="scheme spec, e.g. GP-S0.90 or nGP-DK")
+    run.add_argument(
+        "scheme", nargs="?", default=None,
+        help="scheme spec, e.g. GP-S0.90 or nGP-DK (omit with --resume)",
+    )
     run.add_argument("--work", type=int, default=1_000_000, help="W, total nodes")
     run.add_argument("--pes", type=int, default=1024, help="P, processors")
     run.add_argument("--seed", type=int, default=0)
@@ -47,6 +52,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--init", type=float, default=None,
         help="initial-distribution threshold (default: 0.85 for dynamic triggers)",
+    )
+    run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-plan spec, e.g. 'kill=2,drop=0.05,seed=1' or "
+        "'kill=3:40+7:90,straggle=2,slow=4'",
+    )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a checkpoint file here every --checkpoint-every cycles",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=100, metavar="N",
+        help="cycles between checkpoint writes (default 100)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a checkpointed run instead of starting fresh",
+    )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the per-cycle runtime sanitizer",
     )
 
     solve = sub.add_parser("solve", help="solve a real problem instance")
@@ -61,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="puzzle: scramble length (default 25); queens: board size "
         "(default 8); knapsack: items (default 20); tsp: cities "
         "(default 10); coloring: vertices (default 10, 3 colors)",
+    )
+    solve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-plan spec (puzzle/queens/coloring only), "
+        "e.g. 'kill=1,drop=0.02,seed=3'",
     )
 
     xo = sub.add_parser("xo", help="Equation 18 optimal static trigger")
@@ -173,31 +204,80 @@ def _cmd_schemes() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_divisible
+    from repro.faults import CheckpointConfig, FaultPlan, resume_run
     from repro.simd.cost import CostModel
 
-    cost = CostModel().with_lb_multiplier(args.lb_mult)
-    init = args.init if args.init is not None else "auto"
-    metrics = run_divisible(
-        args.scheme,
-        args.work,
-        args.pes,
-        cost_model=cost,
-        seed=args.seed,
-        init_threshold=init,
+    checkpoint = (
+        CheckpointConfig(args.checkpoint, every=args.checkpoint_every)
+        if args.checkpoint
+        else None
     )
+    if args.resume:
+        metrics = resume_run(args.resume, checkpoint=checkpoint)
+    else:
+        if args.scheme is None:
+            print(
+                "repro run: error: a scheme is required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        faults = (
+            FaultPlan.from_spec(args.faults, args.pes) if args.faults else None
+        )
+        cost = CostModel().with_lb_multiplier(args.lb_mult)
+        init = args.init if args.init is not None else "auto"
+        metrics = run_divisible(
+            args.scheme,
+            args.work,
+            args.pes,
+            cost_model=cost,
+            seed=args.seed,
+            init_threshold=init,
+            faults=faults,
+            checkpoint=checkpoint,
+            sanitize=args.sanitize,
+        )
     print(
         f"{metrics.scheme}: W={metrics.total_work}  P={metrics.n_pes}\n"
         f"  Nexpand={metrics.n_expand}  Nlb={metrics.n_lb}  "
         f"transfers={metrics.n_transfers}\n"
         f"  efficiency={metrics.efficiency:.4f}  speedup={metrics.speedup:.1f}"
     )
+    _print_fault_report(metrics)
     return 0
+
+
+def _print_fault_report(metrics: object) -> None:
+    report = getattr(metrics, "faults", None)
+    if report is None or not report.any_faults:
+        return
+    inner = getattr(metrics, "ledger", None)
+    recovery = f"  T_recovery={inner.t_recovery:.3f}" if inner is not None else ""
+    print(
+        f"  faults: deaths={report.pe_deaths}  "
+        f"quarantined={report.nodes_quarantined}  "
+        f"recovered={report.nodes_recovered}  "
+        f"dropped={report.transfers_dropped}  "
+        f"duplicated={report.transfers_duplicated}{recovery}"
+    )
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.search.branch_and_bound import ParallelDFBB
     from repro.search.parallel import ParallelIDAStar
 
+    faults = None
+    if args.faults:
+        if args.problem in ("knapsack", "tsp"):
+            print(
+                "repro solve: error: --faults supports the IDA* problems "
+                "(puzzle, queens, coloring) only",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.from_spec(args.faults, args.pes)
     init = 0.85 if args.scheme.endswith(("DK", "DP")) else None
     if args.problem == "puzzle":
         from repro.problems.fifteen_puzzle import scrambled_fifteen_puzzle
@@ -205,24 +285,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         puzzle = scrambled_fifteen_puzzle(args.size or 25, rng=args.seed)
         print("instance:", puzzle.tiles)
         result = ParallelIDAStar(
-            puzzle, args.pes, args.scheme, init_threshold=init
+            puzzle, args.pes, args.scheme, init_threshold=init, faults=faults
         ).run()
         print(
             f"optimal cost={result.solution_cost}  solutions={result.solutions}\n"
             f"W={result.total_expanded}  cycles={result.metrics.n_expand}  "
             f"Nlb={result.metrics.n_lb}  E={result.metrics.efficiency:.3f}"
         )
+        _print_fault_report(result.metrics)
     elif args.problem == "queens":
         from repro.problems.nqueens import NQueensProblem
 
         problem = NQueensProblem(args.size or 8)
         result = ParallelIDAStar(
-            problem, args.pes, args.scheme, init_threshold=init
+            problem, args.pes, args.scheme, init_threshold=init, faults=faults
         ).run()
         print(
             f"{problem.n}-queens: solutions={result.solutions}  "
             f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
         )
+        _print_fault_report(result.metrics)
     elif args.problem == "knapsack":
         from repro.problems.knapsack import KnapsackProblem
 
@@ -251,13 +333,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
         problem = GraphColoringProblem.random(args.size or 10, 3, rng=args.seed)
         result = ParallelIDAStar(
-            problem, args.pes, args.scheme, init_threshold=init
+            problem, args.pes, args.scheme, init_threshold=init, faults=faults
         ).run()
         print(
             f"3-coloring, {problem.n_vertices} vertices: "
             f"{result.solutions} proper colorings\n"
             f"W={result.total_expanded}  E={result.metrics.efficiency:.3f}"
         )
+        _print_fault_report(result.metrics)
     return 0
 
 

@@ -67,10 +67,14 @@ class RunMetrics:
     n_init_lb: int
     ledger: TimeLedger
     trace: Trace | None = None
+    #: Fault-recovery phases run (0 on fault-free runs).
+    n_recovery: int = 0
+    #: ``repro.faults.runtime.FaultReport`` when faults were injected.
+    faults: object | None = None
 
     @property
     def efficiency(self) -> float:
-        """``E = T_calc / (T_calc + T_idle + T_lb)`` (Section 3.1)."""
+        """``E = T_calc / (T_calc + T_idle + T_lb + T_recovery)``."""
         return self.ledger.efficiency()
 
     @property

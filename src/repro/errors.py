@@ -1,0 +1,67 @@
+"""Typed exception hierarchy for the whole library.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch one base class at the top of a
+long experiment instead of guessing which stdlib exception a given layer
+uses.  Configuration mistakes additionally subclass :class:`ValueError`
+(via :class:`ConfigError`) so historical ``except ValueError`` call sites
+and tests keep working unchanged.
+
+The fault/recovery subsystem (:mod:`repro.faults`) adds three concrete
+failure categories:
+
+- :class:`FaultInjectionError` — a fault plan is unsatisfiable at run
+  time (e.g. every PE dead while unexpanded work remains);
+- :class:`CheckpointCorruptError` — a checkpoint file failed its
+  magic/length/CRC validation and must not be restored;
+- :class:`GridCellError` — a ``run_grid`` cell failed permanently after
+  the bounded retry budget; carries the structured per-cell report.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "FaultInjectionError",
+    "CheckpointCorruptError",
+    "GridCellError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration (bad sizes, thresholds, spec strings).
+
+    Subclasses :class:`ValueError` so pre-hierarchy call sites that catch
+    ``ValueError`` continue to work.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan cannot be honored by the running machine."""
+
+
+class CheckpointCorruptError(ReproError):
+    """A checkpoint file failed integrity validation on load."""
+
+
+class GridCellError(ReproError):
+    """One or more ``run_grid`` cells failed after all retries.
+
+    ``failures`` holds the structured :class:`~repro.experiments.runner.
+    GridFailure` records when raised by the grid driver; a single-cell
+    instance raised inside a worker (e.g. a per-cell timeout) carries an
+    empty tuple.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+    def __reduce__(self):
+        # Keep worker-raised instances picklable across the process pool.
+        return (type(self), (self.args[0], self.failures))

@@ -9,13 +9,17 @@ workload); ``SMALL_SCALE`` divides both by 16 for quick test runs, and
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import signal
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.core.config import Scheme, make_scheme, parse_scheme_spec
 from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
 from repro.core.splitting import WorkSplitter
+from repro.errors import ConfigError, GridCellError
+from repro.faults import CheckpointConfig, FaultPlan, GridChaos
 from repro.simd.cost import CostModel
 from repro.simd.machine import SimdMachine
 from repro.util.rng import spawn_child
@@ -27,6 +31,7 @@ __all__ = [
     "SMALL_SCALE",
     "TINY_SCALE",
     "GridRecord",
+    "GridFailure",
     "cell_seed",
     "run_divisible",
     "run_grid",
@@ -101,12 +106,17 @@ def run_divisible(
     initial: str = "root",
     trace: bool = False,
     max_cycles: int | None = None,
+    faults: "FaultPlan | None" = None,
+    checkpoint: "CheckpointConfig | None" = None,
+    sanitize: bool = False,
 ) -> RunMetrics:
     """One scheduled run of a scheme over a divisible workload.
 
     ``init_threshold="auto"`` applies the paper's convention (0.85 for
     dynamic triggers, none for static); pass ``None`` or a float to
-    override.
+    override.  ``faults`` injects a deterministic
+    :class:`~repro.faults.FaultPlan`; ``checkpoint`` periodically
+    serializes the run (see :mod:`repro.faults.checkpoint`).
     """
     if init_threshold == "auto":
         init_threshold = default_init_threshold(scheme)
@@ -121,6 +131,9 @@ def run_divisible(
         init_threshold=init_threshold,
         trace=trace,
         max_cycles=max_cycles,
+        faults=faults,
+        checkpoint=checkpoint,
+        sanitize=sanitize,
     )
     return scheduler.run()
 
@@ -140,6 +153,18 @@ def cell_seed(base_seed: int, index: int) -> int:
     return int(spawn_child(base_seed, index).integers(0, 2**31 - 1))
 
 
+@dataclass(frozen=True)
+class GridFailure:
+    """One grid cell that exhausted its retries."""
+
+    index: int
+    scheme: str
+    n_pes: int
+    total_work: int
+    attempts: int
+    error: str
+
+
 def _run_grid_cell(
     payload: tuple,
 ) -> RunMetrics:
@@ -148,17 +173,55 @@ def _run_grid_cell(
     Schemes travel as spec strings (Scheme factories close over locals
     and do not pickle) and are rebuilt with ``make_scheme`` in the
     worker; the cost model and splitter pickle as-is.
+
+    The per-cell ``timeout`` is enforced *inside* the worker with
+    ``SIGALRM`` (POSIX only; silently unenforced elsewhere) so a wedged
+    cell surfaces as a retryable :class:`~repro.errors.GridCellError`
+    instead of stalling the whole pool.  ``chaos`` is the deterministic
+    crash hook for the hardening tests; ``attempt`` rides along so chaos
+    can fire on attempt 0 and let the retry succeed.
     """
-    spec, total_work, n_pes, seed, cost_model, splitter, init_threshold = payload
-    return run_divisible(
-        make_scheme(spec),
+    (
+        spec,
         total_work,
         n_pes,
-        cost_model=cost_model,
-        splitter=splitter,
-        seed=seed,
-        init_threshold=init_threshold,
-    )
+        seed,
+        cost_model,
+        splitter,
+        init_threshold,
+        timeout,
+        chaos,
+        index,
+        attempt,
+    ) = payload
+    if chaos is not None:
+        chaos.maybe_trigger(index, attempt)
+
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+
+        def _on_alarm(signum: int, frame: object) -> None:
+            raise GridCellError(
+                f"grid cell {index} ({spec!r}, W={total_work}, P={n_pes}) "
+                f"timed out after {timeout}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_divisible(
+            make_scheme(spec),
+            total_work,
+            n_pes,
+            cost_model=cost_model,
+            splitter=splitter,
+            seed=seed,
+            init_threshold=init_threshold,
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def run_grid(
@@ -171,6 +234,9 @@ def run_grid(
     base_seed: int = 0,
     init_threshold: float | None | str = "auto",
     n_jobs: int | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    chaos: GridChaos | None = None,
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
@@ -186,7 +252,28 @@ def run_grid(
     Parallel execution requires every scheme's name to round-trip through
     ``make_scheme`` (all Table 1 schemes do; baseline schemes with
     opaque factories must use the serial path).
+
+    The parallel path is hardened against worker failure:
+
+    - ``timeout`` bounds each cell's wall-clock seconds (enforced
+      in-worker via ``SIGALRM`` on POSIX);
+    - a cell that raises, times out, or loses its worker is retried up
+      to ``max_retries`` times **with the same** :func:`cell_seed`, so a
+      retried cell's record is identical to an undisturbed one;
+    - a ``BrokenProcessPool`` (worker killed hard) respawns the pool and
+      requeues every unfinished in-flight cell, each charged one
+      attempt and reported with its ``(scheme, W, P)`` coordinates;
+    - cells that exhaust their retries are collected into
+      :class:`GridFailure` records and raised together as one
+      :class:`~repro.errors.GridCellError` with a structured report.
+
+    ``chaos`` injects deterministic worker crashes (exit/raise/hang) for
+    testing this machinery; see :class:`repro.faults.chaos.GridChaos`.
     """
+    if max_retries < 0:
+        raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(f"timeout must be positive, got {timeout}")
     grid_schemes = [make_scheme(s) if isinstance(s, str) else s for s in schemes]
     cells: list[tuple[Scheme, int, int, int]] = []
     index = 0
@@ -201,20 +288,95 @@ def run_grid(
             try:
                 make_scheme(scheme.name)
             except ValueError:
-                raise ValueError(
+                raise ConfigError(
                     f"scheme {scheme.name!r} cannot be rebuilt from its spec; "
                     "run_grid(n_jobs>1) supports spec-named schemes only — "
                     "use the serial path"
                 ) from None
-        payloads = [
-            (scheme.name, total_work, n_pes, seed, cost_model, splitter, init_threshold)
-            for scheme, n_pes, total_work, seed in cells
-        ]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            all_metrics = list(pool.map(_run_grid_cell, payloads))
+
+        def payload_for(idx: int, attempt: int) -> tuple:
+            scheme, n_pes, total_work, seed = cells[idx]
+            return (
+                scheme.name,
+                total_work,
+                n_pes,
+                seed,
+                cost_model,
+                splitter,
+                init_threshold,
+                timeout,
+                chaos,
+                idx,
+                attempt,
+            )
+
+        results: dict[int, RunMetrics] = {}
+        failures: list[GridFailure] = []
+        attempts = [0] * len(cells)
+        pending = list(range(len(cells)))
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        try:
+            while pending:
+                in_flight = {
+                    pool.submit(_run_grid_cell, payload_for(idx, attempts[idx])): idx
+                    for idx in pending
+                }
+                pending = []
+                pool_broken = False
+                for fut in as_completed(in_flight):
+                    idx = in_flight[fut]
+                    scheme, n_pes, total_work, _ = cells[idx]
+                    try:
+                        results[idx] = fut.result()
+                        continue
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        error = (
+                            f"worker pool broke while cell {idx} "
+                            f"({scheme.name!r}, W={total_work}, P={n_pes}) "
+                            "was in flight"
+                        )
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    attempts[idx] += 1
+                    if attempts[idx] > max_retries:
+                        failures.append(
+                            GridFailure(
+                                idx,
+                                scheme.name,
+                                n_pes,
+                                total_work,
+                                attempts[idx],
+                                error,
+                            )
+                        )
+                    else:
+                        pending.append(idx)
+                if pool_broken:
+                    # A hard worker death poisons every future in the old
+                    # pool; respawn and let the requeued cells rerun with
+                    # their original seeds.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=n_jobs)
+                pending.sort()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if failures:
+            failures.sort(key=lambda f: f.index)
+            lines = [
+                f"run_grid: {len(failures)} of {len(cells)} cells failed "
+                f"after {max_retries} retries:"
+            ]
+            lines += [
+                f"  cell {f.index}: scheme={f.scheme!r} W={f.total_work} "
+                f"P={f.n_pes} attempts={f.attempts} last_error={f.error}"
+                for f in failures
+            ]
+            raise GridCellError("\n".join(lines), failures=tuple(failures))
         return [
-            GridRecord(scheme.name, n_pes, total_work, metrics)
-            for (scheme, n_pes, total_work, _), metrics in zip(cells, all_metrics)
+            GridRecord(scheme.name, n_pes, total_work, results[idx])
+            for idx, (scheme, n_pes, total_work, _) in enumerate(cells)
         ]
 
     records: list[GridRecord] = []

@@ -1,0 +1,47 @@
+"""Fault injection, recovery, and checkpoint/resume.
+
+The paper's CM-2 never loses a processor; a production-scale descendant
+will.  This package makes failure a first-class, *deterministic* part of
+the simulation:
+
+- :mod:`repro.faults.plan` — immutable, seeded fault plans (fail-stop PE
+  death, stragglers, dropped/duplicated transfers);
+- :mod:`repro.faults.runtime` — the live per-run fault state the
+  scheduler drives (alive masks, quarantine, conservation ledger);
+- :mod:`repro.faults.checkpoint` — CRC-framed, atomically written
+  checkpoints restoring a run bit-identically;
+- :mod:`repro.faults.chaos` — deterministic crash injection for the
+  ``run_grid`` process pool (test hook).
+
+Because recovery re-donates quarantined frontiers through the regular
+GP/nGP matching path and every perturbation is work-conserving, a
+fault-injected search returns exactly the fault-free results — only the
+ledger's ``T_recovery`` line shows the price paid.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import GridChaos
+from repro.faults.checkpoint import (
+    CheckpointConfig,
+    load_checkpoint,
+    load_scheduler,
+    resume_run,
+    write_checkpoint,
+)
+from repro.faults.plan import FaultPlan, PEFailure, Straggler
+from repro.faults.runtime import FaultReport, FaultRuntime
+
+__all__ = [
+    "FaultPlan",
+    "PEFailure",
+    "Straggler",
+    "FaultRuntime",
+    "FaultReport",
+    "CheckpointConfig",
+    "write_checkpoint",
+    "load_checkpoint",
+    "load_scheduler",
+    "resume_run",
+    "GridChaos",
+]

@@ -1,0 +1,176 @@
+"""Checkpoint/resume for scheduled runs.
+
+A checkpoint is the *complete* state of a run at a cycle boundary:
+workload arrays (stacks, arena windows, RNG streams), machine ledger and
+counters, the matcher (GP pointer included), the trigger's accumulators,
+the trace so far, and the live fault runtime (alive mask, quarantine,
+drop/dup RNG).  Restoring it and continuing the loop is bit-identical to
+never having stopped — the resume-vs-straight-through equivalence the
+test suite asserts.
+
+On-disk format::
+
+    MAGIC (11 bytes) | crc32 (u32 LE) | payload length (u64 LE) | payload
+
+where the payload is a pickle of one dict.  The scheme is stored as its
+spec string and rebuilt on load (``Scheme`` objects close over factory
+functions and do not pickle — the same reason ``run_grid`` workers
+rebuild schemes from specs).  Writes go to a temp file in the target
+directory followed by ``os.replace``, so a crash mid-write can never
+clobber the previous good checkpoint.  Any framing or CRC mismatch on
+load raises :class:`~repro.errors.CheckpointCorruptError` — a torn or
+truncated file is refused, never half-restored.
+
+This module must not import :mod:`repro.core` at module level (the
+scheduler imports us for :class:`CheckpointConfig`); the loader imports
+it lazily.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CheckpointCorruptError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import RunMetrics
+    from repro.core.scheduler import Scheduler
+
+__all__ = [
+    "CheckpointConfig",
+    "write_checkpoint",
+    "load_checkpoint",
+    "load_scheduler",
+    "resume_run",
+]
+
+MAGIC = b"REPROCKPT1\n"
+_HEADER = struct.Struct("<IQ")  # crc32, payload length
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often a scheduled run checkpoints itself.
+
+    ``every`` counts expansion cycles on the machine ledger; the file at
+    ``path`` is atomically replaced at each write, so it always holds the
+    latest complete checkpoint.
+    """
+
+    path: str | Path
+    every: int = 100
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ConfigError(f"checkpoint every must be >= 1, got {self.every}")
+
+
+def write_checkpoint(scheduler: "Scheduler", path: str | Path) -> None:
+    """Serialize a scheduler's full run state to ``path`` atomically."""
+    scheme = scheduler.scheme
+    payload: dict[str, Any] = {
+        "version": _VERSION,
+        "scheme": scheme.name if hasattr(scheme, "name") else str(scheme),
+        "workload": scheduler.workload,
+        "machine": scheduler.machine,
+        "matcher": scheduler.matcher,
+        "trigger": scheduler.trigger,
+        "trace_obj": scheduler._trace_obj,
+        "n_init_lb": scheduler._n_init_lb,
+        "fault_runtime": scheduler._faults,
+        "kwargs": {
+            "init_threshold": scheduler.init_threshold,
+            "trace": scheduler.trace,
+            "max_cycles": scheduler.max_cycles,
+            "charge_collectives": scheduler.charge_collectives,
+            "sanitize": scheduler.sanitize,
+        },
+    }
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    framed = MAGIC + _HEADER.pack(zlib.crc32(blob), len(blob)) + blob
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(framed)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Read and validate a checkpoint file; return its payload dict."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointCorruptError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    if not raw.startswith(MAGIC):
+        raise CheckpointCorruptError(
+            f"{path} is not a checkpoint file (bad magic)"
+        )
+    header = raw[len(MAGIC) : len(MAGIC) + _HEADER.size]
+    if len(header) < _HEADER.size:
+        raise CheckpointCorruptError(f"{path} is truncated (no header)")
+    crc, length = _HEADER.unpack(header)
+    blob = raw[len(MAGIC) + _HEADER.size :]
+    if len(blob) != length:
+        raise CheckpointCorruptError(
+            f"{path} is truncated: payload is {len(blob)} bytes, "
+            f"header promises {length}"
+        )
+    if zlib.crc32(blob) != crc:
+        raise CheckpointCorruptError(f"{path} failed its CRC check")
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"{path} payload does not unpickle: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise CheckpointCorruptError(
+            f"{path} has unsupported checkpoint version "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+        )
+    return payload
+
+
+def load_scheduler(
+    path: str | Path, *, checkpoint: CheckpointConfig | None = None
+) -> "Scheduler":
+    """Rebuild a :class:`~repro.core.scheduler.Scheduler` mid-run.
+
+    The returned scheduler's :meth:`run` continues the loop from the
+    checkpointed cycle.  Pass ``checkpoint`` to keep checkpointing the
+    resumed run (defaults to off).
+    """
+    from repro.core.scheduler import Scheduler
+
+    payload = load_checkpoint(path)
+    scheduler = Scheduler(
+        payload["workload"],
+        payload["machine"],
+        payload["scheme"],
+        faults=payload["fault_runtime"],
+        checkpoint=checkpoint,
+        **payload["kwargs"],
+    )
+    scheduler.matcher = payload["matcher"]
+    scheduler.trigger = payload["trigger"]
+    scheduler._trace_obj = payload["trace_obj"]
+    scheduler._n_init_lb = payload["n_init_lb"]
+    scheduler._resumed = True
+    scheduler._last_checkpoint_cycle = payload["machine"].n_cycles
+    return scheduler
+
+
+def resume_run(
+    path: str | Path, *, checkpoint: CheckpointConfig | None = None
+) -> "RunMetrics":
+    """Load a checkpoint and run it to completion; return the metrics."""
+    return load_scheduler(path, checkpoint=checkpoint).run()

@@ -1,0 +1,307 @@
+"""Deterministic, seeded fault plans for the simulated SIMD machine.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong and
+when* during a scheduled run:
+
+- **fail-stop PE death** (:class:`PEFailure`) — processor ``pe`` stops
+  participating at the start of expansion cycle ``cycle``; its surviving
+  frontier is quarantined by the scheduler and re-donated to idle alive
+  PEs through the regular GP/nGP matching path;
+- **stragglers** (:class:`Straggler`) — a PE whose SIMD micro-cycles run
+  ``factor``x slower over a cycle window; the lock-step machine waits, so
+  every affected expansion cycle stretches to ``factor * U_calc`` and
+  the extra wait is charged as idle time;
+- **dropped / duplicated work transfers** — each matched LB transfer is
+  independently dropped (sender-side retry: the donor keeps the work and
+  the pair is retried at a later phase) or duplicated (the receiver-side
+  dedup discards the second copy) with the plan's probabilities.  Both
+  cost recovery time but never lose or double-count work, so a
+  fault-injected search still returns exactly the fault-free results.
+
+Plans are pure data: the same plan + the same seed + the same workload
+always produce the same run.  Stochastic plans come from
+:meth:`FaultPlan.random`; CLI specs like ``"kill=2,drop=0.1,seed=7"``
+parse through :meth:`FaultPlan.from_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.rng import spawn_child
+
+__all__ = ["PEFailure", "Straggler", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class PEFailure:
+    """Fail-stop death of processor ``pe`` at expansion cycle ``cycle``.
+
+    Cycles are counted on the machine ledger (``SimdMachine.n_cycles``),
+    so in multi-iteration drivers like ``ParallelIDAStar`` a death is a
+    one-time event on the *cumulative* cycle axis and the PE stays dead
+    for the rest of the whole run.
+    """
+
+    cycle: int
+    pe: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ConfigError(f"failure cycle must be >= 0, got {self.cycle}")
+        if self.pe < 0:
+            raise ConfigError(f"failure pe must be >= 0, got {self.pe}")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """PE ``pe`` runs ``factor``x slower on cycles in
+    ``[start_cycle, end_cycle)`` (``end_cycle=None`` means forever)."""
+
+    pe: int
+    factor: float
+    start_cycle: int = 0
+    end_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ConfigError(f"straggler pe must be >= 0, got {self.pe}")
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"straggler factor must be >= 1 (1 = nominal speed), "
+                f"got {self.factor}"
+            )
+        if self.start_cycle < 0:
+            raise ConfigError(
+                f"straggler start_cycle must be >= 0, got {self.start_cycle}"
+            )
+        if self.end_cycle is not None and self.end_cycle <= self.start_cycle:
+            raise ConfigError(
+                f"straggler window [{self.start_cycle}, {self.end_cycle}) is empty"
+            )
+
+    def active_at(self, cycle: int) -> bool:
+        """Whether this straggler slows expansion cycle ``cycle``."""
+        if cycle < self.start_cycle:
+            return False
+        return self.end_cycle is None or cycle < self.end_cycle
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded description of the faults injected into a run.
+
+    Parameters
+    ----------
+    failures:
+        Fail-stop PE deaths (at most one per PE).
+    stragglers:
+        Slowed-cycle windows.
+    drop_probability:
+        Chance each matched LB transfer is dropped in flight (donor
+        retains the work; retried on a later phase).
+    dup_probability:
+        Chance each *delivered* transfer arrives twice (the duplicate is
+        detected and discarded at extra cost).
+    seed:
+        Seed of the drop/dup decision stream (independent of the
+        workload's RNG, so fault decisions never perturb tree shapes).
+    """
+
+    failures: tuple[PEFailure, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    drop_probability: float = 0.0
+    dup_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, p in (
+            ("drop_probability", self.drop_probability),
+            ("dup_probability", self.dup_probability),
+        ):
+            if not 0.0 <= p < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {p}")
+        pes = [f.pe for f in self.failures]
+        if len(pes) != len(set(pes)):
+            raise ConfigError("a PE can fail-stop at most once per plan")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.failures
+            and not self.stragglers
+            and self.drop_probability == 0.0
+            and self.dup_probability == 0.0
+        )
+
+    def start(self, n_pes: int):
+        """Instantiate the mutable per-run state for a machine of ``n_pes``.
+
+        Validates that every named PE exists and that the plan leaves at
+        least one survivor.
+        """
+        from repro.faults.runtime import FaultRuntime
+
+        for f in self.failures:
+            if f.pe >= n_pes:
+                raise ConfigError(
+                    f"fault plan kills PE {f.pe} but the machine has "
+                    f"only {n_pes} PEs"
+                )
+        for s in self.stragglers:
+            if s.pe >= n_pes:
+                raise ConfigError(
+                    f"fault plan slows PE {s.pe} but the machine has "
+                    f"only {n_pes} PEs"
+                )
+        if len(self.failures) >= n_pes:
+            raise ConfigError(
+                f"fault plan kills all {n_pes} PEs; at least one must survive"
+            )
+        return FaultRuntime(self, n_pes)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        n_pes: int,
+        *,
+        n_failures: int = 0,
+        n_stragglers: int = 0,
+        max_cycle: int = 200,
+        slow_factor: float = 4.0,
+        drop_probability: float = 0.0,
+        dup_probability: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A seeded random plan: distinct victim PEs, death cycles and
+        straggler windows drawn uniformly in ``[0, max_cycle)``.
+
+        A pure function of its arguments (victims come from
+        ``spawn_child(seed, 0)``), so two calls with equal arguments build
+        equal plans on any host.
+        """
+        if n_failures >= n_pes:
+            raise ConfigError(
+                f"cannot kill {n_failures} of {n_pes} PEs; at least one "
+                "must survive"
+            )
+        if n_failures + n_stragglers > n_pes:
+            raise ConfigError(
+                f"{n_failures} failures + {n_stragglers} stragglers exceed "
+                f"{n_pes} PEs"
+            )
+        rng = spawn_child(seed, 0)
+        victims = rng.choice(n_pes, size=n_failures + n_stragglers, replace=False)
+        failures = tuple(
+            PEFailure(cycle=int(rng.integers(0, max_cycle)), pe=int(pe))
+            for pe in victims[:n_failures]
+        )
+        stragglers = []
+        for pe in victims[n_failures:]:
+            start = int(rng.integers(0, max_cycle))
+            stragglers.append(
+                Straggler(
+                    pe=int(pe),
+                    factor=slow_factor,
+                    start_cycle=start,
+                    end_cycle=start + int(rng.integers(1, max_cycle + 1)),
+                )
+            )
+        return cls(
+            failures=failures,
+            stragglers=tuple(stragglers),
+            drop_probability=drop_probability,
+            dup_probability=dup_probability,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str, n_pes: int) -> "FaultPlan":
+        """Parse a CLI fault spec into a plan.
+
+        The spec is a comma-separated ``key=value`` list:
+
+        - ``kill=N`` — N random fail-stop deaths; ``kill=PE:CYCLE+PE:CYCLE``
+          names explicit deaths instead;
+        - ``straggle=N`` — N random slowed PEs; ``slow=F`` their factor;
+        - ``drop=P`` / ``dup=P`` — transfer drop/duplication probabilities;
+        - ``window=C`` — cycle horizon for the random draws (default 200);
+        - ``seed=S`` — the fault decision seed.
+
+        Example: ``"kill=2,drop=0.1,dup=0.05,seed=7"``.
+        """
+        n_failures = 0
+        explicit: list[PEFailure] = []
+        n_stragglers = 0
+        slow_factor = 4.0
+        drop = dup = 0.0
+        window = 200
+        seed = 0
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ConfigError(
+                    f"fault spec token {token!r} is not key=value (spec {spec!r})"
+                )
+            key, value = (part.strip() for part in token.split("=", 1))
+            try:
+                if key == "kill":
+                    if ":" in value:
+                        for pair in value.split("+"):
+                            pe_s, cycle_s = pair.split(":", 1)
+                            explicit.append(
+                                PEFailure(cycle=int(cycle_s), pe=int(pe_s))
+                            )
+                    else:
+                        n_failures = int(value)
+                elif key == "straggle":
+                    n_stragglers = int(value)
+                elif key == "slow":
+                    slow_factor = float(value)
+                elif key == "drop":
+                    drop = float(value)
+                elif key == "dup":
+                    dup = float(value)
+                elif key == "window":
+                    window = int(value)
+                elif key == "seed":
+                    seed = int(value)
+                else:
+                    raise ConfigError(
+                        f"unknown fault spec key {key!r} (spec {spec!r})"
+                    )
+            except ValueError as exc:
+                if isinstance(exc, ConfigError):
+                    raise
+                raise ConfigError(
+                    f"bad fault spec value {value!r} for key {key!r}: {exc}"
+                ) from None
+        if explicit and n_failures:
+            raise ConfigError(
+                "fault spec mixes kill=N with explicit kill=PE:CYCLE entries"
+            )
+        plan = cls.random(
+            n_pes,
+            n_failures=n_failures,
+            n_stragglers=n_stragglers,
+            max_cycle=window,
+            slow_factor=slow_factor,
+            drop_probability=drop,
+            dup_probability=dup,
+            seed=seed,
+        )
+        if explicit:
+            plan = cls(
+                failures=tuple(explicit),
+                stragglers=plan.stragglers,
+                drop_probability=drop,
+                dup_probability=dup,
+                seed=seed,
+            )
+        return plan

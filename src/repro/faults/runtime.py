@@ -1,0 +1,223 @@
+"""Mutable per-run state of an injected :class:`~repro.faults.plan.FaultPlan`.
+
+A :class:`FaultRuntime` is created by ``FaultPlan.start(n_pes)`` and
+threaded through the scheduler loop.  It owns:
+
+- the **alive/dead masks** — who still participates in expansion cycles
+  and LB matching;
+- the **quarantine** — the frontiers extracted from dead PEs, parked
+  until the next LB phase re-donates them to idle alive PEs through the
+  normal GP/nGP matching path;
+- the **drop/dup decision stream** — a dedicated RNG (seeded from the
+  plan, independent of the workload's tree-shape RNG) that decides which
+  matched transfers are lost in flight or delivered twice;
+- the **conservation ledger** — counts of quarantined, recovered,
+  dropped and duplicated work that the runtime sanitizer balances.
+
+All bookkeeping here is work-*neutral*: a dropped transfer leaves the
+payload on the donor, a duplicated one is deduplicated on receipt, and a
+quarantined frontier is re-injected verbatim, so fault-injected runs
+explore exactly the nodes the fault-free run explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.util.rng import spawn_child
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultRuntime", "FaultReport"]
+
+# Child-stream index for the drop/dup decision RNG.  FaultPlan.random
+# uses index 0 for plan construction; the runtime must not share it.
+_DECISION_STREAM = 1
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Immutable end-of-run summary of what the fault layer did."""
+
+    pe_deaths: int
+    nodes_quarantined: int
+    nodes_recovered: int
+    transfers_dropped: int
+    transfers_duplicated: int
+    max_slowdown: float
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any fault actually fired during the run."""
+        return (
+            self.pe_deaths > 0
+            or self.transfers_dropped > 0
+            or self.transfers_duplicated > 0
+            or self.max_slowdown > 1.0
+        )
+
+
+class FaultRuntime:
+    """Live fault state for one machine run.
+
+    Shared across the per-bound schedulers of a ``ParallelIDAStar`` run:
+    deaths key off the cumulative ``SimdMachine.n_cycles`` axis and a PE
+    stays dead for every subsequent iteration.
+    """
+
+    def __init__(self, plan: "FaultPlan", n_pes: int) -> None:
+        self.plan = plan
+        self.n_pes = n_pes
+        self.alive = np.ones(n_pes, dtype=bool)
+        # pe -> (workload payload, entry count); insertion order preserved
+        # so recovery donations are deterministic.
+        self._quarantine: dict[int, tuple[Any, int]] = {}
+        self._pending_failures = sorted(
+            plan.failures, key=lambda f: (f.cycle, f.pe)
+        )
+        self._rng = spawn_child(plan.seed, _DECISION_STREAM)
+        self.pe_deaths = 0
+        self.nodes_quarantined = 0
+        self.nodes_recovered = 0
+        self.transfers_dropped = 0
+        self.transfers_duplicated = 0
+        self.max_slowdown = 1.0
+
+    # -- fail-stop deaths ----------------------------------------------------
+
+    @property
+    def dead(self) -> np.ndarray:
+        """Boolean mask of fail-stopped PEs."""
+        return ~self.alive
+
+    @property
+    def any_dead(self) -> bool:
+        return not bool(self.alive.all())
+
+    def new_deaths(self, cycle: int) -> list[int]:
+        """PEs whose fail-stop cycle has arrived; marks them dead.
+
+        Idempotent per PE: each failure is reported exactly once, on the
+        first call whose ``cycle`` has reached its death cycle.
+        """
+        fired: list[int] = []
+        while self._pending_failures and self._pending_failures[0].cycle <= cycle:
+            failure = self._pending_failures.pop(0)
+            if self.alive[failure.pe]:
+                self.alive[failure.pe] = False
+                self.pe_deaths += 1
+                fired.append(failure.pe)
+        return fired
+
+    # -- quarantine ----------------------------------------------------------
+
+    def quarantine(self, pe: int, payload: Any, n_entries: int) -> None:
+        """Park the surviving frontier of dead PE ``pe``."""
+        if n_entries < 0:
+            raise FaultInjectionError(
+                f"negative quarantine size {n_entries} from PE {pe}"
+            )
+        if pe in self._quarantine:
+            raise FaultInjectionError(
+                f"PE {pe} already has a quarantined frontier"
+            )
+        self._quarantine[pe] = (payload, n_entries)
+        self.nodes_quarantined += n_entries
+
+    def quarantine_mask(self) -> np.ndarray:
+        """Boolean mask of dead PEs holding a quarantined frontier."""
+        mask = np.zeros(self.n_pes, dtype=bool)
+        for pe, (_, n_entries) in self._quarantine.items():
+            if n_entries > 0:
+                mask[pe] = True
+        return mask
+
+    @property
+    def has_quarantine(self) -> bool:
+        return any(n for _, n in self._quarantine.values())
+
+    @property
+    def quarantined_entries(self) -> int:
+        """Work units currently parked in quarantine."""
+        return sum(n for _, n in self._quarantine.values())
+
+    def release(self, pe: int) -> tuple[Any, int]:
+        """Remove and return PE ``pe``'s quarantined ``(payload, n_entries)``."""
+        payload, n_entries = self._quarantine.pop(pe)
+        self.nodes_recovered += n_entries
+        return payload, n_entries
+
+    # -- transfer perturbation -----------------------------------------------
+
+    def filter_transfers(
+        self, donors: np.ndarray, receivers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Apply in-flight drop/duplication to one round of matched pairs.
+
+        Returns ``(donors_kept, receivers_kept, n_dropped, n_duplicated)``.
+        Dropped pairs are removed (the donor keeps its work and the pair
+        is re-matched on a later phase); duplicated pairs are delivered
+        once — the second copy is detected and discarded — but counted so
+        the scheduler can charge the extra traffic.
+        """
+        n = len(donors)
+        if n == 0 or (
+            self.plan.drop_probability == 0.0
+            and self.plan.dup_probability == 0.0
+        ):
+            return donors, receivers, 0, 0
+        draws = self._rng.random(n)
+        dropped = draws < self.plan.drop_probability
+        dup_draws = self._rng.random(n)
+        duplicated = (~dropped) & (dup_draws < self.plan.dup_probability)
+        n_dropped = int(dropped.sum())
+        n_duplicated = int(duplicated.sum())
+        self.transfers_dropped += n_dropped
+        self.transfers_duplicated += n_duplicated
+        keep = ~dropped
+        return donors[keep], receivers[keep], n_dropped, n_duplicated
+
+    # -- stragglers ----------------------------------------------------------
+
+    def slowdown(self, cycle: int) -> float:
+        """Lock-step stretch factor of expansion cycle ``cycle``.
+
+        The SIMD machine advances at the pace of its slowest live PE, so
+        this is the max factor over alive stragglers active at ``cycle``
+        (1.0 when none are).
+        """
+        factor = 1.0
+        for s in self.plan.stragglers:
+            if self.alive[s.pe] and s.active_at(cycle):
+                factor = max(factor, s.factor)
+        if factor > self.max_slowdown:
+            self.max_slowdown = factor
+        return factor
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_conservation(self) -> None:
+        """Raise unless quarantined == recovered + still-parked work."""
+        parked = self.quarantined_entries
+        if self.nodes_quarantined != self.nodes_recovered + parked:
+            raise FaultInjectionError(
+                f"fault conservation violated: quarantined "
+                f"{self.nodes_quarantined} != recovered "
+                f"{self.nodes_recovered} + parked {parked}"
+            )
+
+    def report(self) -> FaultReport:
+        """Snapshot the counters into an immutable report."""
+        return FaultReport(
+            pe_deaths=self.pe_deaths,
+            nodes_quarantined=self.nodes_quarantined,
+            nodes_recovered=self.nodes_recovered,
+            transfers_dropped=self.transfers_dropped,
+            transfers_duplicated=self.transfers_duplicated,
+            max_slowdown=self.max_slowdown,
+        )

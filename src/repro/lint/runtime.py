@@ -14,7 +14,13 @@ invariants on every cycle:
 - at a D_K trigger firing, accumulated idle exceeds ``L*P`` by at most
   one cycle's worth of idle time (Equation 4 fires at first crossing);
 - ``where`` context push/pop balance on the VM;
-- the ledger identity ``P * T_par == T_calc + T_idle + T_lb`` holds.
+- the ledger identity ``P * T_par == T_calc + T_idle + T_lb +
+  T_recovery`` holds.
+
+Fault-injected runs (``Scheduler(faults=...)``) add the fault taxonomy:
+dead PEs must hold no work and stay out of the busy/expanding masks, and
+the fault conservation ledger must balance — every node quarantined off
+a dead PE is either already recovered or still parked, never lost.
 
 Violations raise :class:`SanitizerError` (an ``AssertionError``
 subclass, so plain ``pytest.raises(AssertionError)`` also catches it).
@@ -51,8 +57,14 @@ class SchedulerSanitizer:
     def __init__(self, n_pes: int) -> None:
         self.n_pes = int(n_pes)
 
-    def check_masks(self, busy, idle, expanding) -> None:
-        """Busy/idle disjoint; busy expands; idle|expanding exhaustive."""
+    def check_masks(self, busy, idle, expanding, dead=None) -> None:
+        """Busy/idle disjoint; busy expands; idle|expanding exhaustive.
+
+        With a ``dead`` mask (fault-injected runs), additionally require
+        that no dead PE holds work: its frontier must have been
+        quarantined, leaving it empty (hence in the idle mask) — a dead
+        PE appearing busy or expanding means the fault layer missed it.
+        """
         require(
             not bool((busy & idle).any()),
             "masks-disjoint",
@@ -68,6 +80,25 @@ class SchedulerSanitizer:
             not bool((busy & ~expanding).any()),
             "busy-expands",
             "a busy PE (>=2 nodes) is not expanding",
+        )
+        if dead is not None:
+            require(
+                not bool((dead & (busy | expanding)).any()),
+                "dead-pe-empty",
+                "a fail-stopped PE still holds work — its frontier was "
+                "never quarantined",
+            )
+
+    def check_fault_conservation(self, faults) -> None:
+        """Quarantined work is either recovered or still parked — never
+        lost (``faults`` is a ``repro.faults.runtime.FaultRuntime``)."""
+        parked = faults.quarantined_entries
+        require(
+            faults.nodes_quarantined == faults.nodes_recovered + parked,
+            "fault-conservation",
+            f"fault ledger out of balance: quarantined "
+            f"{faults.nodes_quarantined} != recovered "
+            f"{faults.nodes_recovered} + parked {parked}",
         )
 
     def check_pointer(self, matcher) -> None:
@@ -115,5 +146,6 @@ class SchedulerSanitizer:
         require(
             machine.check_time_identity(),
             "time-identity",
-            "P * T_par != T_calc + T_idle + T_lb on the machine ledger",
+            "P * T_par != T_calc + T_idle + T_lb + T_recovery on the "
+            "machine ledger",
         )

@@ -164,6 +164,35 @@ class SearchArena:
         self.top[receiver] = take
         return take
 
+    def extract_window(self, pe: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return PE ``pe``'s live window (bottom -> top order).
+
+        The PE is left empty with its pointers rewound to slot 0.  Used by
+        the fault layer to quarantine a dead PE's frontier; the returned
+        ``(tiles, meta)`` pair round-trips through :meth:`inject_window`.
+        """
+        tiles, meta = self.entry_rows(pe)
+        self.bottom[pe] = 0
+        self.top[pe] = 0
+        return tiles, meta
+
+    def inject_window(self, pe: int, tiles: np.ndarray, meta: np.ndarray) -> int:
+        """Append extracted entries (bottom -> top order) onto PE ``pe``.
+
+        The inverse of :meth:`extract_window`; the receiving PE need not
+        be empty.  Returns the number of entries delivered.
+        """
+        k = int(len(meta))
+        if k == 0:
+            return 0
+        self.push_segments(
+            np.array([pe], dtype=np.int64),
+            np.array([k], dtype=np.int64),
+            tiles,
+            meta,
+        )
+        return k
+
     def reset_empty_windows(self) -> None:
         """Rewind exhausted PEs' pointers to slot 0, reclaiming the dead
         slots their ``bottom`` consumed (cheap: two masked stores)."""

@@ -50,6 +50,8 @@ import numpy as np
 from repro.core.config import Scheme, make_scheme
 from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FaultRuntime
 from repro.search.arena import BLANK_COL, G_COL, H_COL, PREV_COL, SearchArena
 from repro.search.memo import HeuristicMemo
 from repro.search.problem import SearchProblem
@@ -404,6 +406,32 @@ class SearchWorkload:
     def total_expanded(self) -> int:
         return self.expanded
 
+    def extract_pe(self, pe: int):
+        """Quarantine PE ``pe``'s whole DFS stack.
+
+        List backend: the :class:`DFSStack` object itself (levels intact).
+        Arena backend: the ``(tiles, meta)`` window, bottom to top.
+        """
+        self._cached_counts = None
+        if self._arena is not None:
+            tiles, meta = self._arena.extract_window(pe)
+            return (tiles, meta), int(len(meta))
+        stacks = self._stacks
+        assert stacks is not None
+        stack = stacks[pe]
+        stacks[pe] = DFSStack()
+        return stack, stack.node_count()
+
+    def inject_pe(self, pe: int, payload) -> int:
+        """Append a quarantined frontier onto PE ``pe``'s stack."""
+        self._cached_counts = None
+        if self._arena is not None:
+            tiles, meta = payload
+            return self._arena.inject_window(pe, tiles, meta)
+        stacks = self._stacks
+        assert stacks is not None
+        return stacks[pe].absorb(payload)
+
 
 def parallel_depth_bounded(
     problem: SearchProblem,
@@ -507,6 +535,13 @@ class ParallelIDAStar:
         Forwarded to every iteration's
         :class:`~repro.core.scheduler.Scheduler` — assert the lock-step
         invariants throughout the run.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` injected across the whole
+        run: one shared :class:`~repro.faults.runtime.FaultRuntime` spans
+        every iteration's scheduler, so fail-stop deaths key off the
+        cumulative machine cycle count and a dead PE stays dead for all
+        later bounds (its per-iteration frontier — including a root
+        seeded onto it — is quarantined and recovered each time).
     """
 
     def __init__(
@@ -522,6 +557,7 @@ class ParallelIDAStar:
         backend: str = "list",
         heuristic_memo: bool = True,
         sanitize: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.problem = problem
         self.n_pes = int(n_pes)
@@ -532,6 +568,7 @@ class ParallelIDAStar:
         self.max_iterations = max_iterations
         self.backend = backend
         self.sanitize = sanitize
+        self.faults = faults
         self.h_memo = (
             HeuristicMemo(problem.heuristic)
             if heuristic_memo and backend == "list"
@@ -540,6 +577,9 @@ class ParallelIDAStar:
 
     def run(self) -> ParallelSearchResult:
         machine = SimdMachine(self.n_pes, self.cost_model)
+        fault_runtime: FaultRuntime | None = (
+            self.faults.start(self.n_pes) if self.faults is not None else None
+        )
         bound = self.problem.heuristic(self.problem.initial_state())
         bounds: list[int] = []
         per_iter: list[int] = []
@@ -560,6 +600,7 @@ class ParallelIDAStar:
                 self.scheme,
                 init_threshold=self.init_threshold,
                 sanitize=self.sanitize,
+                faults=fault_runtime,
             )
             last_metrics = scheduler.run()
             bounds.append(bound)
@@ -568,11 +609,13 @@ class ParallelIDAStar:
             if workload.solutions > 0:
                 cost = min(workload.goal_depths)
                 return self._result(
-                    cost, workload.solutions, bounds, per_iter, machine, last_metrics
+                    cost, workload.solutions, bounds, per_iter, machine,
+                    last_metrics, fault_runtime,
                 )
             if workload.next_bound is None:
                 return self._result(
-                    None, 0, bounds, per_iter, machine, last_metrics
+                    None, 0, bounds, per_iter, machine, last_metrics,
+                    fault_runtime,
                 )
             bound = workload.next_bound
 
@@ -588,6 +631,7 @@ class ParallelIDAStar:
         per_iter: list[int],
         machine: SimdMachine,
         last_metrics: RunMetrics,
+        fault_runtime: FaultRuntime | None = None,
     ) -> ParallelSearchResult:
         return ParallelSearchResult(
             solution_cost=cost,
@@ -595,13 +639,19 @@ class ParallelIDAStar:
             total_expanded=sum(per_iter),
             bounds=tuple(bounds),
             per_iteration_expanded=tuple(per_iter),
-            metrics=self._final_metrics(machine, sum(per_iter), last_metrics),
+            metrics=self._final_metrics(
+                machine, sum(per_iter), last_metrics, fault_runtime
+            ),
             h_memo_hits=self.h_memo.hits if self.h_memo is not None else 0,
             h_memo_misses=self.h_memo.misses if self.h_memo is not None else 0,
         )
 
     def _final_metrics(
-        self, machine: SimdMachine, total_work: int, last: RunMetrics | None
+        self,
+        machine: SimdMachine,
+        total_work: int,
+        last: RunMetrics | None,
+        fault_runtime: FaultRuntime | None = None,
     ) -> RunMetrics:
         assert last is not None
         return RunMetrics(
@@ -614,4 +664,6 @@ class ParallelIDAStar:
             n_init_lb=last.n_init_lb,
             ledger=machine.ledger,
             trace=None,
+            n_recovery=machine.n_recovery_phases,
+            faults=fault_runtime.report() if fault_runtime is not None else None,
         )

@@ -165,6 +165,33 @@ class StackArena:
         self.top[receivers] = 1
         return values
 
+    def extract_window(self, pe: int) -> np.ndarray:
+        """Remove and return PE ``pe``'s live window (bottom -> top order).
+
+        The PE is left empty with its pointers rewound to column 0.  Used
+        by the fault layer to quarantine a dead PE's frontier.
+        """
+        values = self.data[pe, self.bottom[pe] : self.top[pe]].copy()
+        self.bottom[pe] = 0
+        self.top[pe] = 0
+        return values
+
+    def inject_window(self, pe: int, values: np.ndarray) -> int:
+        """Append ``values`` (bottom -> top order) onto PE ``pe``'s stack.
+
+        The inverse of :meth:`extract_window`; the receiving PE need not
+        be empty.  Returns the number of entries delivered.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) == 0:
+            return 0
+        self.push_segments(
+            np.array([pe], dtype=np.int64),
+            np.array([len(values)], dtype=np.int64),
+            values,
+        )
+        return int(len(values))
+
     def reset_empty_windows(self) -> None:
         """Rewind exhausted PEs' pointers to column 0, reclaiming the dead
         columns their ``bottom`` consumed (cheap: two masked stores)."""

@@ -276,6 +276,35 @@ class StackWorkload:
     def total_expanded(self) -> int:
         return self._expanded
 
+    def extract_pe(self, pe: int) -> tuple[tuple[int, ...], int]:
+        """Quarantine PE ``pe``'s whole stack (bottom -> top order).
+
+        Returns an immutable, backend-neutral snapshot so a frontier
+        extracted under one backend injects identically under the other.
+        """
+        self._cached_counts = None
+        if self._arena is not None:
+            values = tuple(int(v) for v in self._arena.extract_window(pe))
+        else:
+            assert self._stacks is not None
+            values = tuple(self._stacks[pe])
+            self._stacks[pe].clear()
+        return values, len(values)
+
+    def inject_pe(self, pe: int, payload: tuple[int, ...]) -> int:
+        """Append a quarantined stack snapshot onto PE ``pe``."""
+        values = tuple(payload)
+        if not values:
+            return 0
+        self._cached_counts = None
+        if self._arena is not None:
+            return self._arena.inject_window(
+                pe, np.asarray(values, dtype=np.int64)
+            )
+        assert self._stacks is not None
+        self._stacks[pe].extend(values)
+        return len(values)
+
     # -- Introspection -----------------------------------------------------
 
     def total_remaining(self) -> int:

@@ -1,0 +1,100 @@
+"""run_grid under worker failure: timeout, retry, and pool loss.
+
+``GridChaos`` deterministically sabotages one cell on chosen attempts,
+exercising each failure path; in every recoverable case the final
+records must be **identical** to an undisturbed serial grid, because
+retries rerun the cell with the same ``cell_seed``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, GridCellError
+from repro.experiments.runner import GridFailure, run_grid
+from repro.faults import GridChaos
+
+SCHEMES = ["nGP-S0.75", "GP-DP"]
+WORKS = [1_500, 3_000]
+PES = [16]
+
+
+@pytest.fixture(scope="module")
+def serial_oracle():
+    return run_grid(SCHEMES, WORKS, PES, base_seed=7)
+
+
+def test_worker_raise_is_retried_with_same_seed(serial_oracle):
+    records = run_grid(
+        SCHEMES,
+        WORKS,
+        PES,
+        base_seed=7,
+        n_jobs=2,
+        chaos=GridChaos(index=1, kind="raise", attempts=(0,)),
+    )
+    assert records == serial_oracle
+
+
+def test_worker_death_respawns_pool_and_requeues(serial_oracle):
+    # kind="exit" hard-kills the worker process: every in-flight future
+    # breaks with BrokenProcessPool, the pool is respawned, and all
+    # unfinished cells rerun with their original seeds.
+    records = run_grid(
+        SCHEMES,
+        WORKS,
+        PES,
+        base_seed=7,
+        n_jobs=2,
+        chaos=GridChaos(index=2, kind="exit", attempts=(0,)),
+    )
+    assert records == serial_oracle
+
+
+def test_hung_cell_times_out_and_retries(serial_oracle):
+    records = run_grid(
+        SCHEMES,
+        WORKS,
+        PES,
+        base_seed=7,
+        n_jobs=2,
+        timeout=5.0,
+        chaos=GridChaos(index=3, kind="hang", attempts=(0,)),
+    )
+    assert records == serial_oracle
+
+
+def test_persistent_failure_raises_structured_report():
+    with pytest.raises(GridCellError) as excinfo:
+        run_grid(
+            SCHEMES,
+            WORKS,
+            PES,
+            base_seed=7,
+            n_jobs=2,
+            max_retries=1,
+            chaos=GridChaos(index=0, kind="raise", attempts=(0, 1)),
+        )
+    err = excinfo.value
+    assert len(err.failures) == 1
+    failure = err.failures[0]
+    assert isinstance(failure, GridFailure)
+    assert failure.index == 0
+    # The report names the cell's coordinates, not just an index.
+    assert failure.scheme == "nGP-S0.75"
+    assert failure.total_work == WORKS[0]
+    assert failure.n_pes == PES[0]
+    assert failure.attempts == 2
+    assert "nGP-S0.75" in str(err)
+
+
+def test_retry_and_timeout_config_validated():
+    with pytest.raises(ConfigError):
+        run_grid(SCHEMES, WORKS, PES, max_retries=-1)
+    with pytest.raises(ConfigError):
+        run_grid(SCHEMES, WORKS, PES, timeout=0.0)
+
+
+def test_chaos_validation():
+    with pytest.raises(ConfigError):
+        GridChaos(index=0, kind="segfault")
+    with pytest.raises(ConfigError):
+        GridChaos(index=-1)

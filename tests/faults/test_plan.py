@@ -1,0 +1,93 @@
+"""Fault-plan construction, validation, spec parsing, and determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, PEFailure, Straggler
+
+
+class TestValidation:
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigError):
+            PEFailure(cycle=-1, pe=0)
+
+    def test_negative_pe_rejected(self):
+        with pytest.raises(ConfigError):
+            PEFailure(cycle=0, pe=-1)
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            Straggler(pe=0, factor=0.5)
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_probability=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(dup_probability=-0.1)
+
+    def test_duplicate_failure_pe_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(failures=(PEFailure(10, 3), PEFailure(20, 3)))
+
+    def test_start_rejects_out_of_range_pe(self):
+        plan = FaultPlan(failures=(PEFailure(10, 8),))
+        with pytest.raises(ConfigError):
+            plan.start(4)
+
+    def test_start_requires_a_survivor(self):
+        plan = FaultPlan(failures=tuple(PEFailure(5, pe) for pe in range(4)))
+        with pytest.raises(ConfigError):
+            plan.start(4)
+
+    def test_noop_plan(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(failures=(PEFailure(1, 0),)).is_noop
+        assert not FaultPlan(drop_probability=0.1).is_noop
+
+
+class TestStraggler:
+    def test_active_window(self):
+        s = Straggler(pe=1, factor=2.0, start_cycle=10, end_cycle=20)
+        assert not s.active_at(9)
+        assert s.active_at(10)
+        assert s.active_at(19)
+        assert not s.active_at(20)
+
+    def test_open_ended(self):
+        s = Straggler(pe=0, factor=3.0, start_cycle=5)
+        assert s.active_at(10_000)
+
+
+class TestFromSpec:
+    def test_explicit_kills(self):
+        plan = FaultPlan.from_spec("kill=3:40+7:90", 16)
+        assert plan.failures == (PEFailure(40, 3), PEFailure(90, 7))
+
+    def test_random_kills_are_seed_deterministic(self):
+        a = FaultPlan.from_spec("kill=2,seed=5,window=50", 16)
+        b = FaultPlan.from_spec("kill=2,seed=5,window=50", 16)
+        c = FaultPlan.from_spec("kill=2,seed=6,window=50", 16)
+        assert a == b
+        assert a != c
+        assert len(a.failures) == 2
+        assert len({f.pe for f in a.failures}) == 2
+
+    def test_drop_dup_slow(self):
+        plan = FaultPlan.from_spec(
+            "straggle=1,slow=4,drop=0.05,dup=0.01,seed=2", 8
+        )
+        assert plan.drop_probability == 0.05
+        assert plan.dup_probability == 0.01
+        assert len(plan.stragglers) == 1
+        assert plan.stragglers[0].factor == 4.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec("explode=1", 8)
+
+    def test_random_factory_is_deterministic(self):
+        a = FaultPlan.random(32, n_failures=3, n_stragglers=2, seed=9)
+        b = FaultPlan.random(32, n_failures=3, n_stragglers=2, seed=9)
+        assert a == b
+        assert len(a.failures) == 3
+        assert len(a.stragglers) == 2
