@@ -86,8 +86,17 @@ from repro.faults import (
     load_checkpoint,
     resume_run,
 )
+from repro.errors import RecordStoreError
 from repro.lint import Finding, LintResult, run_lint
-from repro.lint.runtime import SanitizerError
+from repro.lint.runtime import SanitizerError, check_observation_purity
+from repro.obs import (
+    Observability,
+    MetricsRegistry,
+    RingBufferSink,
+    JsonlSink,
+    Profiler,
+    profiled,
+)
 
 __version__ = "1.0.0"
 
@@ -152,5 +161,13 @@ __all__ = [
     "LintResult",
     "run_lint",
     "SanitizerError",
+    "check_observation_purity",
+    "RecordStoreError",
+    "Observability",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "JsonlSink",
+    "Profiler",
+    "profiled",
     "__version__",
 ]

@@ -13,7 +13,12 @@ Commands:
 - ``bench`` — time the hot kernels, the real-search backends and a
   small grid; writes ``BENCH_kernels.json`` and ``BENCH_search.json``
   for the perf trajectory.
-- ``lint`` — the SIMD-discipline static checks (rules R001-R004).
+- ``stats`` — render a metrics-registry snapshot (written by ``run
+  --stats`` / ``grid --stats``) and check the ledger identity
+  ``P * T_par == T_calc + T_idle + T_lb + T_recovery`` it must encode.
+- ``trace`` — run one profiled stack-model workload and write a
+  Chrome-trace / Perfetto ``trace.json`` of the kernel spans.
+- ``lint`` — the SIMD-discipline static checks (rules R001-R005).
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI scripts cleanly.
@@ -74,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="enable the per-cycle runtime sanitizer",
     )
+    run.add_argument(
+        "--stats", default=None, metavar="PATH",
+        help="write a metrics-registry snapshot here (view with 'repro stats')",
+    )
 
     solve = sub.add_parser("solve", help="solve a real problem instance")
     solve.add_argument(
@@ -124,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the grid cells (default: serial)",
     )
+    grid.add_argument(
+        "--stats", default=None, metavar="PATH",
+        help="write a metrics-registry snapshot here (view with 'repro stats')",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -154,6 +167,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the real-search section (stack-model kernels only)",
     )
 
+    stats = sub.add_parser(
+        "stats", help="render a metrics-registry snapshot as a table"
+    )
+    stats.add_argument("snapshot", help="JSON path written with --stats")
+    stats.add_argument(
+        "--no-check", action="store_true",
+        help="skip the per-scheme ledger-identity check",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="profile one stack-model run; write Chrome-trace JSON"
+    )
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome-trace output path (default: trace.json; open in "
+        "chrome://tracing or ui.perfetto.dev)",
+    )
+    trace.add_argument("--scheme", default="GP-DK")
+    trace.add_argument("--work", type=int, default=50_000, help="W, total nodes")
+    trace.add_argument("--pes", type=int, default=256, help="P, processors")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--backend", default="arena", choices=["list", "arena"],
+        help="stack-model storage backend to profile (default: arena)",
+    )
+
     iso = sub.add_parser(
         "isoeff", help="extract an isoefficiency curve from a saved grid"
     )
@@ -170,7 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None, help="write the report here")
 
     lint = sub.add_parser(
-        "lint", help="SIMD-discipline static checks (rules R001-R004)"
+        "lint", help="SIMD-discipline static checks (rules R001-R005)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -207,6 +246,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.faults import CheckpointConfig, FaultPlan, resume_run
     from repro.simd.cost import CostModel
 
+    registry = None
+    obs = None
+    if args.stats:
+        from repro.obs import MetricsRegistry, Observability
+
+        registry = MetricsRegistry()
+        obs = Observability(metrics=registry)
     checkpoint = (
         CheckpointConfig(args.checkpoint, every=args.checkpoint_every)
         if args.checkpoint
@@ -214,6 +260,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.resume:
         metrics = resume_run(args.resume, checkpoint=checkpoint)
+        if registry is not None:
+            # resume_run rebuilds the scheduler itself; fold the finished
+            # run into the registry here instead of threading obs through.
+            from repro.obs import record_run
+
+            record_run(registry, metrics)
     else:
         if args.scheme is None:
             print(
@@ -236,6 +288,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
             checkpoint=checkpoint,
             sanitize=args.sanitize,
+            obs=obs,
         )
     print(
         f"{metrics.scheme}: W={metrics.total_work}  P={metrics.n_pes}\n"
@@ -244,6 +297,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"  efficiency={metrics.efficiency:.4f}  speedup={metrics.speedup:.1f}"
     )
     _print_fault_report(metrics)
+    if registry is not None:
+        path = registry.save_json(args.stats)
+        print(f"  metrics snapshot written to {path}")
     return 0
 
 
@@ -396,11 +452,20 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_grid
     from repro.experiments.store import save_records
 
+    registry = None
+    if args.stats:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     records = run_grid(
-        args.schemes, args.works, args.pes, base_seed=args.seed, n_jobs=args.jobs
+        args.schemes, args.works, args.pes, base_seed=args.seed,
+        n_jobs=args.jobs, registry=registry,
     )
     path = save_records(records, args.out)
     print(f"ran {len(records)} cells; saved to {path}")
+    if registry is not None:
+        stats_path = registry.save_json(args.stats)
+        print(f"metrics snapshot written to {stats_path}")
     return 0
 
 
@@ -433,6 +498,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"\nreports written to {out} and {search_out}")
     else:
         print(f"\nreport written to {out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.errors import RecordStoreError
+    from repro.obs import check_snapshot_identity, load_snapshot, render_snapshot
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+        if not args.no_check:
+            schemes = check_snapshot_identity(snapshot)
+    except RecordStoreError as exc:
+        print(f"repro stats: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_snapshot(snapshot))
+    if not args.no_check:
+        if schemes:
+            print(
+                f"\nledger identity P*T_par == T_calc+T_idle+T_lb+T_recovery "
+                f"holds for {len(schemes)} scheme(s): {', '.join(schemes)}"
+            )
+        else:
+            print("\n(no per-scheme ledger lines to check)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.scheduler import Scheduler
+    from repro.obs import Profiler, profiled
+    from repro.simd.machine import SimdMachine
+    from repro.workmodel.stackmodel import StackWorkload
+
+    workload = StackWorkload(
+        args.work, args.pes, rng=args.seed, backend=args.backend
+    )
+    machine = SimdMachine(args.pes)
+    init = 0.85 if args.scheme.endswith(("DK", "DP", "D_K", "D_P")) else None
+    profiler = Profiler()
+    with profiled(profiler):
+        metrics = Scheduler(
+            workload, machine, args.scheme, init_threshold=init
+        ).run()
+    path = profiler.save_chrome_trace(args.out)
+    print(profiler.render_totals())
+    print(
+        f"\n{metrics.scheme}: W={metrics.total_work}  P={metrics.n_pes}  "
+        f"Nexpand={metrics.n_expand}  E={metrics.efficiency:.4f}"
+    )
+    print(f"chrome trace ({profiler.n_spans} spans) written to {path}")
     return 0
 
 
@@ -507,6 +621,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "grid": lambda: _cmd_grid(args),
         "bench": lambda: _cmd_bench(args),
+        "stats": lambda: _cmd_stats(args),
+        "trace": lambda: _cmd_trace(args),
         "isoeff": lambda: _cmd_isoeff(args),
         "report": lambda: _cmd_report(args),
         "lint": lambda: _cmd_lint(args),

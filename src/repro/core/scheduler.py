@@ -54,6 +54,9 @@ from repro.faults.checkpoint import CheckpointConfig, write_checkpoint
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
 from repro.lint.runtime import SchedulerSanitizer
+from repro.obs import Observability
+from repro.obs.events import CycleEvent, LBPhaseEvent, RecoveryEvent
+from repro.obs.profile import span
 from repro.simd.machine import SimdMachine
 
 __all__ = ["Scheduler"]
@@ -82,6 +85,9 @@ class Scheduler:
         handing control to the trigger.
     trace:
         Record per-cycle busy counts and LB positions (Figure 8 data).
+        ``True`` builds a default ring-buffered :class:`Trace`; pass a
+        pre-built :class:`Trace` instance to control the ring size or
+        attach a streaming event sink.
     max_cycles:
         Safety cap on expansion cycles; ``None`` means run to exhaustion.
     charge_collectives:
@@ -108,18 +114,27 @@ class Scheduler:
         A :class:`~repro.faults.checkpoint.CheckpointConfig`; when set,
         the full run state is serialized to ``checkpoint.path`` every
         ``checkpoint.every`` cycles (atomic replace, CRC-framed).
+    obs:
+        An :class:`~repro.obs.Observability` bundle.  Typed events
+        (cycles, LB phases, recovery, faults) go to ``obs.events`` on
+        the machine's *cumulative* cycle axis; per-phase histograms go
+        to ``obs.metrics``; kernel spans report to the active profiler.
+        Observation is pure — it never changes what the run computes —
+        and the bundle is not checkpointed (a resumed run re-attaches
+        fresh observers via ``load_scheduler``).
     """
 
     workload: Workload
     machine: SimdMachine
     scheme: Scheme | str
     init_threshold: float | None = None
-    trace: bool = False
+    trace: bool | Trace = False
     max_cycles: int | None = None
     charge_collectives: bool = False
     sanitize: bool = False
     faults: FaultPlan | FaultRuntime | None = None
     checkpoint: CheckpointConfig | None = None
+    obs: Observability | None = None
 
     def __post_init__(self) -> None:
         self.matcher: Matcher | None = None
@@ -144,6 +159,12 @@ class Scheduler:
             )
         else:
             self._faults = self.faults
+        if (
+            self._faults is not None
+            and self.obs is not None
+            and self.obs.events is not None
+        ):
+            self._faults.observer = self.obs.events
         if self.checkpoint is not None:
             try:
                 make_scheme(self.scheme.name)
@@ -173,7 +194,10 @@ class Scheduler:
         initial_lb_cost = self.machine.cost.lb_phase_time(self.machine.n_pes)
         matcher, trigger = scheme.build(initial_lb_cost)
         self.matcher, self.trigger = matcher, trigger
-        self._trace_obj = Trace() if self.trace else None
+        if isinstance(self.trace, Trace):
+            self._trace_obj = self.trace
+        else:
+            self._trace_obj = Trace() if self.trace else None
 
         if self.init_threshold is not None:
             self._n_init_lb = self._initial_distribution(
@@ -308,11 +332,25 @@ class Scheduler:
             busy=busy, expanding=expanding, n_pes=self.machine.n_pes, dt=dt
         )
 
-    @staticmethod
-    def _record_cycle(trace: Trace | None, state: TriggerState, trigger: Trigger) -> None:
+    def _record_cycle(
+        self, trace: Trace | None, state: TriggerState, trigger: Trigger
+    ) -> None:
         if trace is not None:
             trace.record_cycle(
                 state.busy, state.expanding, trigger.last_r1, trigger.last_r2
+            )
+        obs = self.obs
+        if obs is not None and obs.events is not None:
+            # The cumulative machine axis keeps IDA* iterations monotone
+            # in one event stream (a per-iteration Trace restarts at 0).
+            obs.events.emit(
+                CycleEvent(
+                    cycle=self.machine.n_cycles - 1,
+                    busy=state.busy,
+                    expanding=state.expanding,
+                    r1=trigger.last_r1,
+                    r2=trigger.last_r2,
+                )
             )
 
     def _maybe_checkpoint(self) -> None:
@@ -342,27 +380,40 @@ class Scheduler:
         rounds = 0
         moved = 0
         max_rounds = _MAX_ROUNDS_FACTOR * self.machine.n_pes
-        while fr.has_quarantine and rounds < max_rounds:
-            quarantined = fr.quarantine_mask()
-            idle = self._receivable_mask()
-            if not idle.any():
-                break
-            result = matcher.match(quarantined, idle)
-            if len(result) == 0:
-                break
-            for donor, receiver in zip(
-                result.donors.tolist(), result.receivers.tolist()
-            ):
-                payload, _ = fr.release(donor)
-                self.workload.inject_pe(receiver, payload)
-                moved += 1
-            rounds += 1
+        with span("recovery.phase", cat="recovery"):
+            while fr.has_quarantine and rounds < max_rounds:
+                quarantined = fr.quarantine_mask()
+                idle = self._receivable_mask()
+                if not idle.any():
+                    break
+                with span("lb.match"):
+                    result = matcher.match(quarantined, idle)
+                if len(result) == 0:
+                    break
+                for donor, receiver in zip(
+                    result.donors.tolist(), result.receivers.tolist()
+                ):
+                    payload, _ = fr.release(donor)
+                    self.workload.inject_pe(receiver, payload)
+                    moved += 1
+                rounds += 1
         if rounds:
             self.machine.charge_recovery_phase(
                 transfer_rounds=rounds,
                 n_transfers=moved,
                 setup_scans=matcher.setup_scans,
             )
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    RecoveryEvent(
+                        cycle=self.machine.n_cycles - 1,
+                        rounds=rounds,
+                        transfers=moved,
+                    )
+                )
+                if obs.metrics is not None:
+                    obs.metrics.counter("recovery.frontiers_redonated").inc(moved)
         return rounds > 0
 
     def _maybe_balance(self, matcher: Matcher, trigger: Trigger, trace: Trace | None) -> bool:
@@ -392,7 +443,8 @@ class Scheduler:
         while busy.any() and idle.any() and rounds < max_rounds:
             if sanitizer is not None:
                 sanitizer.check_pointer(matcher)
-            result = matcher.match(busy, idle)
+            with span("lb.match"):
+                result = matcher.match(busy, idle)
             if len(result) == 0:
                 break
             donors, receivers = result.donors, result.receivers
@@ -402,9 +454,10 @@ class Scheduler:
                 )
                 if n_dropped or n_dup:
                     faulty_rounds += 1
-            performed = (
-                self.workload.transfer(donors, receivers) if len(donors) else 0
-            )
+            with span("lb.transfer"):
+                performed = (
+                    self.workload.transfer(donors, receivers) if len(donors) else 0
+                )
             transfers += performed
             rounds += 1
             if sanitizer is not None:
@@ -430,6 +483,19 @@ class Scheduler:
             )
         if trace is not None:
             trace.record_lb(self.machine.n_cycles - 1)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                LBPhaseEvent(
+                    cycle=self.machine.n_cycles - 1,
+                    rounds=rounds,
+                    transfers=transfers,
+                    dt=dt,
+                )
+            )
+            if obs.metrics is not None:
+                obs.metrics.histogram("lb.transfers_per_phase").observe(transfers)
+                obs.metrics.histogram("lb.rounds_per_phase").observe(rounds)
         trigger.notify_lb_cost(dt)
         trigger.start_phase()
         return True

@@ -16,6 +16,10 @@ failure categories:
   magic/length/CRC validation and must not be restored;
 - :class:`GridCellError` — a ``run_grid`` cell failed permanently after
   the bounded retry budget; carries the structured per-cell report.
+
+The persistence layer (:mod:`repro.experiments.store`,
+:mod:`repro.obs.registry`) raises :class:`RecordStoreError` for corrupt
+or version-mismatched payloads.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ __all__ = [
     "FaultInjectionError",
     "CheckpointCorruptError",
     "GridCellError",
+    "RecordStoreError",
 ]
 
 
@@ -47,6 +52,14 @@ class FaultInjectionError(ReproError):
 
 class CheckpointCorruptError(ReproError):
     """A checkpoint file failed integrity validation on load."""
+
+
+class RecordStoreError(ReproError, ValueError):
+    """A record file or metrics snapshot is corrupt or version-mismatched.
+
+    Subclasses :class:`ValueError` so pre-hierarchy call sites that catch
+    ``ValueError`` around ``load_records`` continue to work.
+    """
 
 
 class GridCellError(ReproError):

@@ -20,6 +20,8 @@ from repro.core.scheduler import Scheduler
 from repro.core.splitting import WorkSplitter
 from repro.errors import ConfigError, GridCellError
 from repro.faults import CheckpointConfig, FaultPlan, GridChaos
+from repro.obs import Observability
+from repro.obs.registry import MetricsRegistry, record_run
 from repro.simd.cost import CostModel
 from repro.simd.machine import SimdMachine
 from repro.util.rng import spawn_child
@@ -109,6 +111,7 @@ def run_divisible(
     faults: "FaultPlan | None" = None,
     checkpoint: "CheckpointConfig | None" = None,
     sanitize: bool = False,
+    obs: Observability | None = None,
 ) -> RunMetrics:
     """One scheduled run of a scheme over a divisible workload.
 
@@ -116,7 +119,10 @@ def run_divisible(
     dynamic triggers, none for static); pass ``None`` or a float to
     override.  ``faults`` injects a deterministic
     :class:`~repro.faults.FaultPlan`; ``checkpoint`` periodically
-    serializes the run (see :mod:`repro.faults.checkpoint`).
+    serializes the run (see :mod:`repro.faults.checkpoint`); ``obs``
+    attaches an :class:`~repro.obs.Observability` bundle (typed events,
+    metrics, profiling — observation never changes the run, and the
+    final metrics are folded into ``obs.metrics`` when present).
     """
     if init_threshold == "auto":
         init_threshold = default_init_threshold(scheme)
@@ -134,8 +140,12 @@ def run_divisible(
         faults=faults,
         checkpoint=checkpoint,
         sanitize=sanitize,
+        obs=obs,
     )
-    return scheduler.run()
+    metrics = scheduler.run()
+    if obs is not None and obs.metrics is not None:
+        record_run(obs.metrics, metrics)
+    return metrics
 
 
 def cell_seed(base_seed: int, index: int) -> int:
@@ -237,6 +247,7 @@ def run_grid(
     timeout: float | None = None,
     max_retries: int = 2,
     chaos: GridChaos | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
@@ -269,6 +280,12 @@ def run_grid(
 
     ``chaos`` injects deterministic worker crashes (exit/raise/hang) for
     testing this machinery; see :class:`repro.faults.chaos.GridChaos`.
+
+    ``registry`` folds every cell's metrics into a
+    :class:`~repro.obs.registry.MetricsRegistry` (plus ``grid.cells_total``
+    and ``grid.retries_total`` counters).  Recording happens in the
+    parent process in cell-index order on both execution paths, so a
+    parallel grid's snapshot is identical to a serial one's.
     """
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
@@ -374,10 +391,12 @@ def run_grid(
                 for f in failures
             ]
             raise GridCellError("\n".join(lines), failures=tuple(failures))
-        return [
+        records = [
             GridRecord(scheme.name, n_pes, total_work, results[idx])
             for idx, (scheme, n_pes, total_work, _) in enumerate(cells)
         ]
+        _fold_grid_metrics(registry, records, retries=sum(attempts))
+        return records
 
     records: list[GridRecord] = []
     for scheme, n_pes, total_work, seed in cells:
@@ -391,4 +410,22 @@ def run_grid(
             init_threshold=init_threshold,
         )
         records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
+    _fold_grid_metrics(registry, records, retries=0)
     return records
+
+
+def _fold_grid_metrics(
+    registry: MetricsRegistry | None, records: list[GridRecord], *, retries: int
+) -> None:
+    """Record a finished grid into ``registry`` (parent process only).
+
+    Workers cannot share a registry object across process boundaries, so
+    both execution paths fold the returned records here, in index order
+    — serial and parallel grids produce identical snapshots.
+    """
+    if registry is None:
+        return
+    registry.counter("grid.cells_total").inc(len(records))
+    registry.counter("grid.retries_total").inc(retries)
+    for record in records:
+        record_run(registry, record.metrics)

@@ -5,26 +5,80 @@ to re-analyze without re-running; this module round-trips
 :class:`~repro.experiments.runner.GridRecord` lists through a stable
 JSON schema, versioned so stale files fail loudly instead of silently
 misparsing.
+
+Two durability guarantees:
+
+- **Atomic replace** — :func:`save_records` writes to a sibling temp
+  file and ``os.replace``-s it into place (the checkpoint layer's
+  pattern), so a crash mid-write leaves the previous file intact
+  instead of a truncated JSON document.
+- **Typed load errors** — :func:`load_records` raises
+  :class:`~repro.errors.RecordStoreError` (a ``ReproError`` that also
+  subclasses ``ValueError``) on unreadable, corrupt, or
+  version-mismatched payloads, never a bare ``json.JSONDecodeError``.
+
+Traces are dropped by default (a full per-cycle series dwarfs the
+record it annotates); pass ``traces=True`` to persist each record's
+ring-buffer contents and get them back from :func:`load_records`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Iterable
 from pathlib import Path
 
-from repro.core.metrics import RunMetrics
+from repro.core.metrics import RunMetrics, Trace
+from repro.errors import RecordStoreError
 from repro.experiments.runner import GridRecord
 from repro.simd.machine import TimeLedger
 
 __all__ = ["save_records", "load_records", "to_triples"]
 
-_SCHEMA_VERSION = 1
+#: Written by :func:`save_records`.  v2 added ``t_recovery``,
+#: ``n_recovery`` and optional per-record traces.
+_SCHEMA_VERSION = 2
+
+#: Accepted by :func:`load_records` (v1 files predate the recovery
+#: ledger line and never carry traces).
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
-def _record_to_dict(record: GridRecord) -> dict:
-    m = record.metrics
+def _trace_to_dict(trace: Trace) -> dict:
     return {
+        "maxlen": trace.maxlen,
+        "busy_per_cycle": trace.busy_per_cycle,
+        "expanding_per_cycle": trace.expanding_per_cycle,
+        "trigger_r1": trace.trigger_r1,
+        "trigger_r2": trace.trigger_r2,
+        "lb_cycle_indices": trace.lb_cycle_indices,
+        "n_cycles_recorded": trace.n_cycles_recorded,
+        "n_lb_recorded": trace.n_lb_recorded,
+    }
+
+
+def _trace_from_dict(data: dict) -> Trace:
+    trace = Trace(maxlen=data["maxlen"])
+    for busy, expanding, r1, r2 in zip(
+        data["busy_per_cycle"],
+        data["expanding_per_cycle"],
+        data["trigger_r1"],
+        data["trigger_r2"],
+    ):
+        trace.record_cycle(busy, expanding, r1, r2)
+    for index in data["lb_cycle_indices"]:
+        trace.record_lb(index)
+    # Rebuild the dropped-count bookkeeping: the file holds only the
+    # retained window, but the recorded totals survive verbatim.
+    trace.n_cycles_recorded = data["n_cycles_recorded"]
+    trace.n_lb_recorded = data["n_lb_recorded"]
+    return trace
+
+
+def _record_to_dict(record: GridRecord, *, traces: bool) -> dict:
+    m = record.metrics
+    out = {
         "scheme": record.scheme,
         "n_pes": record.n_pes,
         "total_work": record.total_work,
@@ -32,17 +86,25 @@ def _record_to_dict(record: GridRecord) -> dict:
         "n_lb": m.n_lb,
         "n_transfers": m.n_transfers,
         "n_init_lb": m.n_init_lb,
+        "n_recovery": m.n_recovery,
         "ledger": {
             "t_calc": m.ledger.t_calc,
             "t_idle": m.ledger.t_idle,
             "t_lb": m.ledger.t_lb,
+            "t_recovery": m.ledger.t_recovery,
             "elapsed": m.ledger.elapsed,
         },
     }
+    if traces and m.trace is not None:
+        out["trace"] = _trace_to_dict(m.trace)
+    return out
 
 
 def _record_from_dict(data: dict) -> GridRecord:
-    ledger = TimeLedger(**data["ledger"])
+    ledger_data = dict(data["ledger"])
+    ledger_data.setdefault("t_recovery", 0.0)  # absent in v1 files
+    ledger = TimeLedger(**ledger_data)
+    trace_data = data.get("trace")
     metrics = RunMetrics(
         scheme=data["scheme"],
         n_pes=data["n_pes"],
@@ -52,7 +114,8 @@ def _record_from_dict(data: dict) -> GridRecord:
         n_transfers=data["n_transfers"],
         n_init_lb=data["n_init_lb"],
         ledger=ledger,
-        trace=None,
+        trace=_trace_from_dict(trace_data) if trace_data is not None else None,
+        n_recovery=data.get("n_recovery", 0),
     )
     return GridRecord(
         scheme=data["scheme"],
@@ -62,28 +125,60 @@ def _record_from_dict(data: dict) -> GridRecord:
     )
 
 
-def save_records(records: Iterable[GridRecord], path: str | Path) -> Path:
-    """Write records to ``path`` as versioned JSON (traces are dropped)."""
+def save_records(
+    records: Iterable[GridRecord],
+    path: str | Path,
+    *,
+    traces: bool = False,
+) -> Path:
+    """Write records to ``path`` as versioned JSON, atomically.
+
+    Traces are dropped unless ``traces=True`` (each record then carries
+    its ring-buffer window; evicted cycles stay evicted).  The payload
+    is staged in a sibling temp file and moved into place with
+    ``os.replace``, so an interrupted save never clobbers ``path``.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema_version": _SCHEMA_VERSION,
-        "records": [_record_to_dict(r) for r in records],
+        "records": [_record_to_dict(r, traces=traces) for r in records],
     }
-    path.write_text(json.dumps(payload, indent=1))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    os.replace(tmp, path)
     return path
 
 
 def load_records(path: str | Path) -> list[GridRecord]:
-    """Read records written by :func:`save_records`."""
-    payload = json.loads(Path(path).read_text())
+    """Read records written by :func:`save_records`.
+
+    Raises
+    ------
+    RecordStoreError
+        When the file is unreadable, not valid JSON, structurally not a
+        record payload, or carries an unsupported schema version.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise RecordStoreError(f"cannot read record file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise RecordStoreError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise RecordStoreError(f"{path} is not a record payload")
     version = payload.get("schema_version")
-    if version != _SCHEMA_VERSION:
-        raise ValueError(
+    if version not in _SUPPORTED_VERSIONS:
+        supported = sorted(_SUPPORTED_VERSIONS)
+        raise RecordStoreError(
             f"unsupported record schema version {version!r} "
-            f"(expected {_SCHEMA_VERSION})"
+            f"(expected one of {supported})"
         )
-    return [_record_from_dict(d) for d in payload["records"]]
+    try:
+        return [_record_from_dict(d) for d in payload["records"]]
+    except (KeyError, TypeError) as exc:
+        raise RecordStoreError(f"{path} has malformed records: {exc}") from exc
 
 
 def to_triples(records: Iterable[GridRecord]) -> list[tuple[int, float, float]]:

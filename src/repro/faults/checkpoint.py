@@ -99,6 +99,13 @@ def write_checkpoint(scheduler: "Scheduler", path: str | Path) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(framed)
     os.replace(tmp, path)
+    # Observability is optional and strictly observational; getattr keeps
+    # this callable for scheduler-like objects without an obs field.
+    obs = getattr(scheduler, "obs", None)
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.counter("checkpoint.writes").inc()
+        obs.metrics.counter("checkpoint.bytes").inc(len(framed))
+        obs.metrics.gauge("checkpoint.last_bytes").set(len(framed))
 
 
 def load_checkpoint(path: str | Path) -> dict[str, Any]:

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.errors import FaultInjectionError
+from repro.obs.events import EventSink, FaultEvent
 from repro.util.rng import spawn_child
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -81,6 +82,10 @@ class FaultRuntime:
             plan.failures, key=lambda f: (f.cycle, f.pe)
         )
         self._rng = spawn_child(plan.seed, _DECISION_STREAM)
+        #: Optional event sink (bound by ``Scheduler`` from ``obs.events``);
+        #: strictly observational — emission never touches the decision RNG.
+        self.observer: EventSink | None = None
+        self._last_cycle = 0
         self.pe_deaths = 0
         self.nodes_quarantined = 0
         self.nodes_recovered = 0
@@ -105,6 +110,7 @@ class FaultRuntime:
         Idempotent per PE: each failure is reported exactly once, on the
         first call whose ``cycle`` has reached its death cycle.
         """
+        self._last_cycle = cycle
         fired: list[int] = []
         while self._pending_failures and self._pending_failures[0].cycle <= cycle:
             failure = self._pending_failures.pop(0)
@@ -112,7 +118,21 @@ class FaultRuntime:
                 self.alive[failure.pe] = False
                 self.pe_deaths += 1
                 fired.append(failure.pe)
+                self._emit("death", failure.pe)
         return fired
+
+    def _emit(self, event: str, pe: int, entries: int = 0) -> None:
+        if self.observer is not None:
+            self.observer.emit(
+                FaultEvent(cycle=self._last_cycle, event=event, pe=pe, entries=entries)
+            )
+
+    def __getstate__(self) -> dict:
+        # Observers are not checkpointed (the obs contract): a resumed
+        # run re-attaches fresh sinks via Scheduler(obs=...).
+        state = self.__dict__.copy()
+        state["observer"] = None
+        return state
 
     # -- quarantine ----------------------------------------------------------
 
@@ -128,6 +148,7 @@ class FaultRuntime:
             )
         self._quarantine[pe] = (payload, n_entries)
         self.nodes_quarantined += n_entries
+        self._emit("quarantine", pe, n_entries)
 
     def quarantine_mask(self) -> np.ndarray:
         """Boolean mask of dead PEs holding a quarantined frontier."""
@@ -150,6 +171,7 @@ class FaultRuntime:
         """Remove and return PE ``pe``'s quarantined ``(payload, n_entries)``."""
         payload, n_entries = self._quarantine.pop(pe)
         self.nodes_recovered += n_entries
+        self._emit("release", pe, n_entries)
         return payload, n_entries
 
     # -- transfer perturbation -----------------------------------------------
@@ -179,6 +201,11 @@ class FaultRuntime:
         n_duplicated = int(duplicated.sum())
         self.transfers_dropped += n_dropped
         self.transfers_duplicated += n_duplicated
+        if self.observer is not None:
+            for pe in donors[dropped].tolist():
+                self._emit("perturb", int(pe), 1)
+            for pe in donors[duplicated].tolist():
+                self._emit("perturb", int(pe), 2)
         keep = ~dropped
         return donors[keep], receivers[keep], n_dropped, n_duplicated
 

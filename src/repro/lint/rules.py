@@ -1,4 +1,4 @@
-"""The SIMD-discipline rule set (R001-R004) and the rule registry.
+"""The SIMD-discipline rule set (R001-R005) and the rule registry.
 
 Each rule inspects one parsed module (:class:`LintContext`) and yields
 :class:`~repro.lint.findings.Finding` objects.  The rules encode the
@@ -17,6 +17,11 @@ paper's lock-step contract:
 - **R004** — scan/reduce/route collectives are only reached through
   ``ParallelVM`` / ``SimdMachine`` so their cost can't silently escape
   the time ledger.
+- **R005** — trace series are recorded through ``Trace.record_cycle`` /
+  ``record_lb`` (or typed ``repro.obs`` events), never by appending to
+  the series attributes directly: the series are bounded ring buffers
+  whose accessors return list *copies*, so a direct append silently
+  mutates a throwaway.
 
 Rules are module-scoped by *logical path* — the path suffix starting at
 the ``repro`` package directory — so fixtures placed under a
@@ -397,3 +402,49 @@ class RawCollective(Rule):
                     "SimdMachine cost accounting; invoke it through the VM "
                     "or charge the machine explicitly",
                 )
+
+
+@register
+class DirectTraceAppend(Rule):
+    """R005: trace series are written via ``record_*``, never appended to."""
+
+    rule_id = "R005"
+    title = "direct append to a Trace series outside repro.obs"
+
+    _EXEMPT_PREFIXES = ("repro/obs/",)
+    _EXEMPT_FILES = ("repro/core/metrics.py",)
+    _SERIES = frozenset(
+        {
+            "busy_per_cycle",
+            "expanding_per_cycle",
+            "lb_cycle_indices",
+            "trigger_r1",
+            "trigger_r2",
+        }
+    )
+    _MUTATORS = frozenset({"append", "extend", "insert"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.logical.startswith(self._EXEMPT_PREFIXES):
+            return
+        if ctx.logical in self._EXEMPT_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in self._SERIES
+            ):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"direct .{func.attr}() on trace series "
+                f"'{func.value.attr}': the series accessors return list "
+                "copies of a bounded ring buffer, so this mutates a "
+                "throwaway; record through Trace.record_cycle/record_lb "
+                "or a typed repro.obs event sink",
+            )

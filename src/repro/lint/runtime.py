@@ -22,6 +22,12 @@ dead PEs must hold no work and stay out of the busy/expanding masks, and
 the fault conservation ledger must balance — every node quarantined off
 a dead PE is either already recovered or still parked, never lost.
 
+The observability layer (:mod:`repro.obs`) adds one more runtime
+contract — *observation purity*: attaching event sinks, a metrics
+registry, or the profiler must never change what a run computes.
+:func:`check_observation_purity` asserts it by comparing two run
+outcomes (duck-typed, so any metrics-like pair works).
+
 Violations raise :class:`SanitizerError` (an ``AssertionError``
 subclass, so plain ``pytest.raises(AssertionError)`` also catches it).
 This module deliberately imports nothing from ``repro.core`` or
@@ -30,7 +36,12 @@ This module deliberately imports nothing from ``repro.core`` or
 
 from __future__ import annotations
 
-__all__ = ["SanitizerError", "require", "SchedulerSanitizer"]
+__all__ = [
+    "SanitizerError",
+    "require",
+    "SchedulerSanitizer",
+    "check_observation_purity",
+]
 
 
 class SanitizerError(AssertionError):
@@ -148,4 +159,59 @@ class SchedulerSanitizer:
             "time-identity",
             "P * T_par != T_calc + T_idle + T_lb + T_recovery on the "
             "machine ledger",
+        )
+
+
+#: RunMetrics fields compared by :func:`check_observation_purity`; the
+#: ledger is compared line by line so a drift names the exact term.
+_PURITY_FIELDS = (
+    "scheme",
+    "n_pes",
+    "total_work",
+    "n_expand",
+    "n_lb",
+    "n_transfers",
+    "n_init_lb",
+    "n_recovery",
+)
+_PURITY_LEDGER_FIELDS = ("t_calc", "t_idle", "t_lb", "t_recovery", "elapsed")
+
+
+def check_observation_purity(bare, observed) -> None:
+    """Assert two runs' metrics are bit-identical — the obs contract.
+
+    ``bare`` is the metrics of an instrumentation-off run, ``observed``
+    the metrics of the same run with tracing/metrics/profiling attached;
+    any mismatch means observation leaked into the simulation.  Both
+    arguments are duck-typed ``RunMetrics``-likes (this module must not
+    import ``repro.core``); ledger lines are compared with ``==`` —
+    exact float equality, not approximate — because a pure observer
+    cannot perturb a single ULP.
+    """
+    for name in _PURITY_FIELDS:
+        a, b = getattr(bare, name), getattr(observed, name)
+        require(
+            a == b,
+            "observation-purity",
+            f"RunMetrics.{name} differs with instrumentation attached: "
+            f"{a!r} (bare) != {b!r} (observed)",
+        )
+    bare_ledger = getattr(bare, "ledger", None)
+    observed_ledger = getattr(observed, "ledger", None)
+    for name in _PURITY_LEDGER_FIELDS:
+        a = getattr(bare_ledger, name)
+        b = getattr(observed_ledger, name)
+        require(
+            a == b,
+            "observation-purity",
+            f"ledger.{name} differs with instrumentation attached: "
+            f"{a!r} (bare) != {b!r} (observed)",
+        )
+    bare_trace = getattr(bare, "trace", None)
+    observed_trace = getattr(observed, "trace", None)
+    if bare_trace is not None and observed_trace is not None:
+        require(
+            bare_trace == observed_trace,
+            "observation-purity",
+            "recorded Trace series differ with instrumentation attached",
         )

@@ -52,6 +52,10 @@ from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
+from repro.obs import Observability
+from repro.obs.events import IterationEvent
+from repro.obs.profile import span
+from repro.obs.registry import record_run
 from repro.search.arena import BLANK_COL, G_COL, H_COL, PREV_COL, SearchArena
 from repro.search.memo import HeuristicMemo
 from repro.search.problem import SearchProblem
@@ -241,6 +245,10 @@ class SearchWorkload:
         return self._expand_cycle_list()
 
     def _expand_cycle_list(self) -> int:
+        with span("expand.search.list"):
+            return self._expand_cycle_list_inner()
+
+    def _expand_cycle_list_inner(self) -> int:
         stacks = self._stacks
         assert stacks is not None
         self._cached_counts = None
@@ -273,6 +281,10 @@ class SearchWorkload:
         return n
 
     def _expand_cycle_arena(self) -> int:
+        with span("expand.search.arena"):
+            return self._expand_cycle_arena_inner()
+
+    def _expand_cycle_arena_inner(self) -> int:
         arena = self._arena
         assert arena is not None
         pes = np.flatnonzero(self._counts() > 0)
@@ -542,6 +554,12 @@ class ParallelIDAStar:
         cumulative machine cycle count and a dead PE stays dead for all
         later bounds (its per-iteration frontier — including a root
         seeded onto it — is quarantined and recovered each time).
+    obs:
+        An :class:`~repro.obs.Observability` bundle shared by every
+        iteration's scheduler; the driver adds one
+        :class:`~repro.obs.events.IterationEvent` per bound and folds the
+        final metrics into ``obs.metrics`` via
+        :func:`~repro.obs.registry.record_run`.  Observation is pure.
     """
 
     def __init__(
@@ -558,6 +576,7 @@ class ParallelIDAStar:
         heuristic_memo: bool = True,
         sanitize: bool = False,
         faults: FaultPlan | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.problem = problem
         self.n_pes = int(n_pes)
@@ -569,6 +588,7 @@ class ParallelIDAStar:
         self.backend = backend
         self.sanitize = sanitize
         self.faults = faults
+        self.obs = obs
         self.h_memo = (
             HeuristicMemo(problem.heuristic)
             if heuristic_memo and backend == "list"
@@ -601,10 +621,19 @@ class ParallelIDAStar:
                 init_threshold=self.init_threshold,
                 sanitize=self.sanitize,
                 faults=fault_runtime,
+                obs=self.obs,
             )
             last_metrics = scheduler.run()
             bounds.append(bound)
             per_iter.append(workload.expanded)
+            if self.obs is not None:
+                self.obs.emit(
+                    IterationEvent(
+                        cycle=machine.n_cycles,
+                        bound=bound,
+                        expanded=workload.expanded,
+                    )
+                )
 
             if workload.solutions > 0:
                 cost = min(workload.goal_depths)
@@ -633,7 +662,7 @@ class ParallelIDAStar:
         last_metrics: RunMetrics,
         fault_runtime: FaultRuntime | None = None,
     ) -> ParallelSearchResult:
-        return ParallelSearchResult(
+        result = ParallelSearchResult(
             solution_cost=cost,
             solutions=solutions,
             total_expanded=sum(per_iter),
@@ -645,6 +674,9 @@ class ParallelIDAStar:
             h_memo_hits=self.h_memo.hits if self.h_memo is not None else 0,
             h_memo_misses=self.h_memo.misses if self.h_memo is not None else 0,
         )
+        if self.obs is not None and self.obs.metrics is not None:
+            record_run(self.obs.metrics, result.metrics)
+        return result
 
     def _final_metrics(
         self,

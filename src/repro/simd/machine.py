@@ -65,6 +65,16 @@ class TimeLedger:
             return float(n_pes)
         return self.t_calc / self.elapsed
 
+    def as_dict(self) -> dict[str, float]:
+        """The five ledger lines as a plain JSON-ready dict."""
+        return {
+            "t_calc": self.t_calc,
+            "t_idle": self.t_idle,
+            "t_lb": self.t_lb,
+            "t_recovery": self.t_recovery,
+            "t_par": self.elapsed,
+        }
+
 
 @dataclass
 class SimdMachine:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.profile import span
+
 __all__ = ["sum_scan", "segmented_sum_scan", "enumerate_mask", "rendezvous"]
 
 
@@ -82,19 +84,20 @@ def sum_scan(
     if len(values) == 0:
         return values.copy()
 
-    if method == "cumsum":
-        inc = np.cumsum(values)
-        if inclusive:
-            return inc
-        exc = np.empty_like(inc)
-        exc[0] = 0
-        exc[1:] = inc[:-1]
-        return exc
-    if method == "blelloch":
-        exc = _blelloch_exclusive(values)
-        if inclusive:
-            return exc + values
-        return exc
+    with span("scan.sum_scan", cat="scan"):
+        if method == "cumsum":
+            inc = np.cumsum(values)
+            if inclusive:
+                return inc
+            exc = np.empty_like(inc)
+            exc[0] = 0
+            exc[1:] = inc[:-1]
+            return exc
+        if method == "blelloch":
+            exc = _blelloch_exclusive(values)
+            if inclusive:
+                return exc + values
+            return exc
     raise ValueError(f"unknown scan method {method!r}")
 
 

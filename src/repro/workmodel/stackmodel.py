@@ -46,6 +46,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.obs.profile import span
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive_int
 from repro.workmodel.arena import StackArena, draw_children_batch
@@ -193,6 +194,10 @@ class StackWorkload:
         return self._expand_cycle_list()
 
     def _expand_cycle_arena(self) -> int:
+        with span("expand.stack.arena"):
+            return self._expand_cycle_arena_inner()
+
+    def _expand_cycle_arena_inner(self) -> int:
         arena = self._arena
         assert arena is not None
         pes = np.flatnonzero(self._counts() > 0)
@@ -210,6 +215,10 @@ class StackWorkload:
         return n
 
     def _expand_cycle_list(self) -> int:
+        with span("expand.stack.list"):
+            return self._expand_cycle_list_inner()
+
+    def _expand_cycle_list_inner(self) -> int:
         stacks = self._stacks
         assert stacks is not None
         self._cached_counts = None

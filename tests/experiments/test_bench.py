@@ -101,3 +101,26 @@ class TestRunBench:
         )
         assert "search_report" not in report
         assert not (tmp_path / "BENCH_search.json").exists()
+
+
+class TestBestOfN:
+    def test_repeats_reported(self):
+        report = bench_expand_kernel(
+            n_pes=16, work_per_pe=20, warm_cycles=8, time_cycles=4, repeats=2
+        )
+        assert report["repeats"] == 2
+        for row in report["backends"].values():
+            assert row["ms_per_cycle"] > 0
+
+    def test_rejects_nonpositive_repeats(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="repeats"):
+            bench_expand_kernel(
+                n_pes=16, work_per_pe=20, warm_cycles=8, time_cycles=4, repeats=0
+            )
+
+    def test_full_run_repeats_stay_bit_identical(self):
+        report = bench_full_run(n_pes=16, work_per_pe=20, repeats=2)
+        assert report["repeats"] == 2
+        assert report["metrics_identical"] is True

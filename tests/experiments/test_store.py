@@ -3,7 +3,8 @@ import json
 import pytest
 
 from repro.analysis.isoefficiency import isoefficiency_points
-from repro.experiments.runner import run_grid
+from repro.errors import RecordStoreError, ReproError
+from repro.experiments.runner import GridRecord, run_divisible, run_grid
 from repro.experiments.store import load_records, save_records, to_triples
 
 
@@ -53,3 +54,75 @@ class TestToTriples:
         assert p == records[0].n_pes
         assert w == float(records[0].total_work)
         assert e == records[0].efficiency
+
+
+class TestAtomicSave:
+    def test_crash_before_replace_preserves_previous_file(
+        self, records, tmp_path, monkeypatch
+    ):
+        """Simulated mid-write crash: the staged temp file never makes it
+        into place, so the previous good store survives untouched."""
+        path = save_records(records[:1], tmp_path / "grid.json")
+        before = path.read_text()
+
+        def crash(src, dst):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr("os.replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_records(records, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert len(load_records(path)) == 1
+
+    def test_no_temp_file_left_after_success(self, records, tmp_path):
+        path = save_records(records, tmp_path / "grid.json")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+
+class TestTypedLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RecordStoreError, match="cannot read"):
+            load_records(tmp_path / "absent.json")
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text("{truncated")
+        with pytest.raises(RecordStoreError, match="not valid JSON"):
+            load_records(path)
+
+    def test_not_a_record_payload(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(RecordStoreError, match="not a record payload"):
+            load_records(path)
+
+    def test_malformed_record(self, records, tmp_path):
+        path = save_records(records[:1], tmp_path / "grid.json")
+        data = json.loads(path.read_text())
+        del data["records"][0]["ledger"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(RecordStoreError, match="malformed"):
+            load_records(path)
+
+    def test_error_is_both_repro_and_value_error(self, tmp_path):
+        """Back-compat: pre-existing except ValueError handlers keep
+        working after the typed-error change."""
+        assert issubclass(RecordStoreError, ValueError)
+        assert issubclass(RecordStoreError, ReproError)
+
+
+class TestTracePersistence:
+    def test_opt_in_round_trip(self, tmp_path):
+        metrics = run_divisible("GP-DK", 3_000, 16, seed=2, trace=True)
+        record = GridRecord(
+            scheme="GP-DK", n_pes=16, total_work=3_000, metrics=metrics
+        )
+        assert record.metrics.trace is not None
+        path = save_records([record], tmp_path / "grid.json", traces=True)
+        loaded = load_records(path)
+        original = record.metrics.trace
+        restored = loaded[0].metrics.trace
+        assert restored == original
+        assert restored.n_cycles_recorded == original.n_cycles_recorded
+        assert restored.lb_cycle_indices == original.lb_cycle_indices

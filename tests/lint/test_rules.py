@@ -223,8 +223,10 @@ class TestSuppression:
 
 
 class TestRegistry:
-    def test_four_rules_registered(self):
-        assert [r.rule_id for r in all_rules()] == ["R001", "R002", "R003", "R004"]
+    def test_five_rules_registered(self):
+        assert [r.rule_id for r in all_rules()] == [
+            "R001", "R002", "R003", "R004", "R005",
+        ]
 
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
@@ -235,3 +237,46 @@ class TestRegistry:
         assert len(result.findings) == 1
         assert result.findings[0].rule == "R000"
         assert result.findings[0].line >= 1
+
+
+class TestR005:
+    VIOLATION = CLEAN_HEADER + (
+        "def f(trace):\n"
+        "    trace.busy_per_cycle.append(3)\n"
+        "    trace.lb_cycle_indices.extend([1, 2])\n"
+    )
+
+    def test_flags_direct_series_mutation(self, tmp_path):
+        result = lint_source(tmp_path, self.VIOLATION, rules=["R005"])
+        assert len(rule_hits(result, "R005")) == 2
+
+    def test_exempt_inside_repro_obs(self, tmp_path):
+        result = lint_source(
+            tmp_path, self.VIOLATION, rel="repro/obs/custom_sink.py",
+            rules=["R005"],
+        )
+        assert rule_hits(result, "R005") == []
+
+    def test_exempt_in_metrics_module_itself(self, tmp_path):
+        result = lint_source(
+            tmp_path, self.VIOLATION, rel="repro/core/metrics.py",
+            rules=["R005"],
+        )
+        assert rule_hits(result, "R005") == []
+
+    def test_record_calls_are_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            CLEAN_HEADER + (
+                "def f(trace, lists):\n"
+                "    trace.record_cycle(1, 2, 0.5, 0.25)\n"
+                "    trace.record_lb(7)\n"
+                "    lists.other_series.append(3)\n"
+            ),
+            rules=["R005"],
+        )
+        assert rule_hits(result, "R005") == []
+
+    def test_src_tree_is_clean(self):
+        result = run_lint(["src"], rules=["R005"])
+        assert rule_hits(result, "R005") == []

@@ -1,0 +1,102 @@
+"""Typed trace events and the two bounded sinks."""
+
+import pickle
+
+import pytest
+
+from repro.obs.events import (
+    CycleEvent,
+    FaultEvent,
+    IterationEvent,
+    JsonlSink,
+    LBPhaseEvent,
+    RecoveryEvent,
+    RingBufferSink,
+    event_from_dict,
+    read_jsonl_events,
+)
+
+ALL_EVENTS = [
+    CycleEvent(cycle=3, busy=7, expanding=9, r1=1.5, r2=0.25),
+    LBPhaseEvent(cycle=4, rounds=2, transfers=11, dt=0.125),
+    RecoveryEvent(cycle=5, rounds=1, transfers=3),
+    FaultEvent(cycle=6, event="death", pe=13),
+    FaultEvent(cycle=6, event="quarantine", pe=13, entries=42),
+    IterationEvent(cycle=7, bound=22, expanded=900),
+]
+
+
+class TestEventSchema:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+    def test_dict_round_trip(self, event):
+        d = event.to_dict()
+        assert d["kind"] == event.kind
+        assert event_from_dict(d) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            event_from_dict({"kind": "nope", "cycle": 0})
+
+    def test_events_are_immutable(self):
+        with pytest.raises(AttributeError):
+            ALL_EVENTS[0].busy = 99
+
+
+class TestRingBufferSink:
+    def test_wraparound_keeps_newest_and_counts_dropped(self):
+        sink = RingBufferSink(maxlen=4)
+        for i in range(10):
+            sink.emit(IterationEvent(cycle=i, bound=i, expanded=i))
+        assert len(sink) == 4
+        assert sink.n_emitted == 10
+        assert sink.dropped == 6
+        assert [e.cycle for e in sink] == [6, 7, 8, 9]
+
+    def test_unbounded_escape_hatch(self):
+        sink = RingBufferSink(maxlen=None)
+        for i in range(100):
+            sink.emit(CycleEvent(cycle=i, busy=0, expanding=0, r1=0.0, r2=0.0))
+        assert len(sink) == 100 and sink.dropped == 0
+
+    def test_kind_filter(self):
+        sink = RingBufferSink()
+        for event in ALL_EVENTS:
+            sink.emit(event)
+        assert [e.kind for e in sink.events("fault")] == ["fault", "fault"]
+        assert sink.events() == ALL_EVENTS
+
+    def test_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            RingBufferSink(maxlen=0)
+
+
+class TestJsonlSink:
+    def test_streams_and_reads_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        for event in ALL_EVENTS:
+            sink.emit(event)
+        sink.close()
+        assert read_jsonl_events(path) == ALL_EVENTS
+
+    def test_append_across_reopen(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = JsonlSink(path)
+        first.emit(ALL_EVENTS[0])
+        first.close()
+        second = JsonlSink(path)
+        second.emit(ALL_EVENTS[1])
+        second.close()
+        assert read_jsonl_events(path) == ALL_EVENTS[:2]
+
+    def test_picklable_mid_stream(self, tmp_path):
+        """Checkpointed runs can carry a streaming sink: the live file
+        handle is dropped on pickle and reopens on the next emit."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(ALL_EVENTS[0])
+        clone = pickle.loads(pickle.dumps(sink))
+        sink.close()
+        clone.emit(ALL_EVENTS[1])
+        clone.close()
+        assert read_jsonl_events(path) == ALL_EVENTS[:2]

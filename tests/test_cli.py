@@ -158,3 +158,78 @@ class TestTableFigure:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStats:
+    def test_run_stats_then_render(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(
+            ["run", "GP-DK", "--work", "5000", "--pes", "32", "--stats", str(snap)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "runs_total" in out
+        assert "ledger.t_par{scheme=GP-DK}" in out
+        assert "ledger identity" in out and "GP-DK" in out
+
+    def test_grid_stats_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(
+            [
+                "grid", str(tmp_path / "grid.json"),
+                "--schemes", "GP-DK", "nGP-S0.90",
+                "--works", "2000",
+                "--pes", "16",
+                "--stats", str(snap),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "grid.cells_total" in out
+        assert "holds for 2 scheme(s)" in out
+
+    def test_corrupt_snapshot_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_identity_break_exits_2(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        main(["run", "GP-DK", "--work", "2000", "--pes", "16", "--stats", str(snap)])
+        data = json.loads(snap.read_text())
+        data["gauges"]["ledger.t_calc{scheme=GP-DK}"] += 99.0
+        snap.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["stats", str(snap)]) == 2
+        assert "ledger identity" in capsys.readouterr().err
+        assert main(["stats", str(snap), "--no-check"]) == 0
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--work", "4000", "--pes", "32", "--out", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "expand.stack.arena" in names
+        assert "lb.match" in names
+        text = capsys.readouterr().out
+        assert "chrome trace" in text and "expand.stack.arena" in text
+
+    def test_list_backend_spans(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", "--work", "2000", "--pes", "16",
+                "--backend", "list", "--out", str(out),
+            ]
+        ) == 0
+        names = {e["name"] for e in json.loads(out.read_text())["traceEvents"]}
+        assert "expand.stack.list" in names

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
     "repro.util",
     "repro.cli",
 ]
