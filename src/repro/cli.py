@@ -27,8 +27,10 @@ the CLI scripts cleanly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
@@ -166,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-search", action="store_true",
         help="skip the real-search section (stack-model kernels only)",
     )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="diff two bench JSON reports instead of running benches; "
+        "exits 1 if any metric regressed past --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional regression for --compare (default: 0.10)",
+    )
 
     stats = sub.add_parser(
         "stats", help="render a metrics-registry snapshot as a table"
@@ -209,18 +220,42 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None, help="write the report here")
 
     lint = sub.add_parser(
-        "lint", help="SIMD-discipline static checks (rules R001-R005)"
+        "lint",
+        help="SIMD-discipline static checks (R001-R005; --strict adds "
+        "the R100-R103 dataflow rules)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to check (default: src)",
     )
     lint.add_argument(
-        "--format", dest="fmt", choices=["text", "json"], default="text"
+        "--format", dest="fmt", choices=["text", "json", "sarif"],
+        default="text",
     )
     lint.add_argument(
         "--rules", default=None,
-        help="comma-separated rule subset, e.g. R001,R004 (default: all)",
+        help="comma-separated rule subset, e.g. R001,R103 (default: "
+        "R001-R005, plus R100-R103 under --strict)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="run the dataflow rule family (R100-R103) too: call-graph "
+        "RNG provenance, kernel purity, mask-guarded writes",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="drop findings fingerprinted in this baseline file; only "
+        "non-baselined findings fail the run (the ratchet)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline (default .lint-baseline.json) with the "
+        "current findings and exit 0",
+    )
+    lint.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the formatted report here (a text summary still "
+        "prints to stdout)",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="describe the rules and exit"
@@ -473,10 +508,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         BENCH_PATH,
         BENCH_SEARCH_PATH,
+        compare_bench,
         render_bench,
+        render_compare,
         render_search_bench,
         run_bench,
     )
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            old = json.loads(Path(old_path).read_text())
+            new = json.loads(Path(new_path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read bench report: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = compare_bench(old, new, tolerance=args.tolerance)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_compare(result))
+        return 0 if result["ok"] else 1
 
     out = args.out if args.out is not None else BENCH_PATH
     search_out = (
@@ -588,23 +641,63 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, exit_code, render_json, render_text, run_lint
+    from repro.lint import (
+        Baseline,
+        all_rules,
+        exit_code,
+        load_config,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.title}")
+        for rule in all_rules(include_dataflow=True):
+            gate = "" if rule.family == "basic" else "  (--strict)"
+            print(f"{rule.rule_id}  {rule.title}{gate}")
         return 0
     subset = (
         [token.strip() for token in args.rules.split(",") if token.strip()]
         if args.rules
         else None
     )
+    baseline_path = args.baseline
+    if args.update_baseline and baseline_path is None:
+        baseline_path = ".lint-baseline.json"
     try:
-        result = run_lint(args.paths, rules=subset)
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path and not args.update_baseline
+            else None
+        )
+        result = run_lint(
+            args.paths,
+            rules=subset,
+            strict=args.strict,
+            config=load_config(),
+            baseline=baseline,
+        )
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
-    print(render_json(result) if args.fmt == "json" else render_text(result))
+    if args.update_baseline:
+        path = Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline with {len(result.findings)} finding(s) written to "
+            f"{path}"
+        )
+        return 0
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    report = renderers[args.fmt](result)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(render_text(result))
+        print(f"{args.fmt} report written to {args.out}")
+    else:
+        print(report)
     return exit_code(result)
 
 

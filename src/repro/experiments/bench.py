@@ -20,14 +20,19 @@ The *search* section (written separately as ``BENCH_search.json``)
 covers the real 15-puzzle workload the same way:
 
 - **search expansion kernel** — ``SearchWorkload.expand_cycle``
-  throughput per backend (plain list, list with the heuristic memo,
-  flat arena) from identically warmed stack states, with backend
-  bit-identity (per-PE counts, expansions, next bound) asserted on the
-  timed states in the same run.
+  throughput per backend (plain list, flat arena) from identically
+  warmed stack states, with backend bit-identity (per-PE counts,
+  expansions, next bound) asserted on the timed states in the same run.
+  (The ``list-memo`` variant was retired: it benched *slower* than the
+  plain list — see :mod:`repro.search.memo`.)
 - **full parallel IDA*** — a complete run on a fixed bench instance per
   backend, asserting expansion-count/bound/solution identity across
-  backends and against serial IDA*, and reporting the list backend's
-  heuristic-memo hit rate.
+  backends and against serial IDA*.
+
+``python -m repro bench --compare OLD.json NEW.json`` diffs two saved
+reports metric by metric (:func:`compare_bench`), prints per-section
+speedup deltas, and exits nonzero when any metric regressed past
+``--tolerance`` — the perf ratchet next to lint's baseline ratchet.
 
 All wall-clock numbers are host measurements, so the JSON embeds the
 host fingerprint (platform, Python, numpy, CPU count); a grid speedup
@@ -70,6 +75,8 @@ __all__ = [
     "run_search_bench",
     "render_bench",
     "render_search_bench",
+    "compare_bench",
+    "render_compare",
 ]
 
 BENCH_PATH = "BENCH_kernels.json"
@@ -272,22 +279,18 @@ def bench_grid(
 
 # -- real-search benches (the BENCH_search.json section) -------------------
 
-#: (name, backend, memo) variants timed by the search kernel bench.
+#: (name, backend) variants timed by the search kernel bench.  The old
+#: ``list-memo`` variant was retired after it benched *slower* than the
+#: plain list backend (whole-state hashing beat recomputing h) — the
+#: regression now lives on as lint rule R102's memo check.
 _SEARCH_VARIANTS = (
-    ("list", "list", False),
-    ("list-memo", "list", True),
-    ("arena", "arena", False),
+    ("list", "list"),
+    ("arena", "arena"),
 )
 
 
-def _search_h_memo(problem, memo: bool):
-    from repro.search.memo import HeuristicMemo
-
-    return HeuristicMemo(problem.heuristic) if memo else None
-
-
 def _warmed_search_workload(
-    problem, bound: int, backend: str, memo: bool, *, n_pes: int, warm_cycles: int
+    problem, bound: int, backend: str, *, n_pes: int, warm_cycles: int
 ):
     """A ``SearchWorkload`` after ``warm_cycles`` scheduled spread cycles.
 
@@ -297,9 +300,7 @@ def _warmed_search_workload(
     """
     from repro.search.parallel import SearchWorkload
 
-    workload = SearchWorkload(
-        problem, bound, n_pes, backend=backend, h_memo=_search_h_memo(problem, memo)
-    )
+    workload = SearchWorkload(problem, bound, n_pes, backend=backend)
     machine = SimdMachine(n_pes, CostModel())
     Scheduler(
         workload, machine, "GP-S0.75", init_threshold=0.9, max_cycles=warm_cycles
@@ -333,11 +334,11 @@ def bench_search_kernel(
     bound = problem.heuristic(problem.initial_state()) + bound_slack
     backends: dict[str, dict] = {}
     end_states: dict[str, tuple] = {}
-    for name, backend, memo in _SEARCH_VARIANTS:
+    for name, backend in _SEARCH_VARIANTS:
         best: dict | None = None
         for rep in range(repeats + 1):
             workload = _warmed_search_workload(
-                problem, bound, backend, memo, n_pes=n_pes, warm_cycles=warm_cycles
+                problem, bound, backend, n_pes=n_pes, warm_cycles=warm_cycles
             )
             expanded_before = workload.total_expanded()
             cycles = 0
@@ -380,9 +381,6 @@ def bench_search_kernel(
         "backends_identical": identical,
         "speedup_arena_vs_list": (
             backends["arena"]["nodes_per_s"] / backends["list"]["nodes_per_s"]
-        ),
-        "speedup_arena_vs_list_memo": (
-            backends["arena"]["nodes_per_s"] / backends["list-memo"]["nodes_per_s"]
         ),
     }
 
@@ -450,9 +448,6 @@ def bench_search_full(
         "speedup_arena_vs_list": seconds["list"] / seconds["arena"],
         "backends_identical": identical,
         "serial_parity": serial_parity,
-        "h_memo_hits": list_result.h_memo_hits,
-        "h_memo_misses": list_result.h_memo_misses,
-        "h_memo_hit_rate": list_result.h_memo_hit_rate,
     }
 
 
@@ -589,8 +584,7 @@ def render_search_bench(report: dict) -> str:
             f"  ({row['ms_per_cycle']:.3f} ms/cycle)"
         )
     lines += [
-        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x"
-        f" (vs list-memo: {kernel['speedup_arena_vs_list_memo']:.1f}x);"
+        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x;"
         f" backends identical: {kernel['backends_identical']}",
         f"full parallel IDA* ({full['instance']}, P={full['n_pes']}, "
         f"W={full['total_expanded']}): "
@@ -598,7 +592,124 @@ def render_search_bench(report: dict) -> str:
         f"list {full['seconds']['list']:.2f}s "
         f"({full['speedup_arena_vs_list']:.1f}x); "
         f"identical: {full['backends_identical']}, "
-        f"serial parity: {full['serial_parity']}, "
-        f"h-memo hit rate: {full['h_memo_hit_rate']:.2f}",
+        f"serial parity: {full['serial_parity']}",
     ]
+    return "\n".join(lines)
+
+
+# -- report comparison (the ``bench --compare`` ratchet) -------------------
+
+#: Leaf metric keys worth diffing, with the direction that is *better*.
+#: ``seconds``-style timings appear as ``{"seconds": {"arena": ...}}`` so
+#: the parent key carries the semantics; both spellings are listed.
+_COMPARE_DIRECTIONS = {
+    "nodes_per_s": "higher",
+    "ms_per_cycle": "lower",
+    "serial_s": "lower",
+    "parallel_s": "lower",
+    "seconds": "lower",
+}
+
+
+def _metric_direction(path: tuple[str, ...]) -> str | None:
+    """Better-direction of the metric at ``path``, or None if not a metric."""
+    leaf = path[-1]
+    if leaf in _COMPARE_DIRECTIONS:
+        return _COMPARE_DIRECTIONS[leaf]
+    if leaf.startswith("speedup"):
+        return "higher"
+    if len(path) >= 2 and path[-2] in _COMPARE_DIRECTIONS:
+        return _COMPARE_DIRECTIONS[path[-2]]
+    return None
+
+
+def _metric_leaves(node, path: tuple[str, ...] = ()) -> dict[tuple[str, ...], float]:
+    """All comparable numeric leaves of a bench report, keyed by path."""
+    out: dict[tuple[str, ...], float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(_metric_leaves(value, path + (str(key),)))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if _metric_direction(path) is not None and path:
+            out[path] = float(node)
+    return out
+
+
+def compare_bench(old: dict, new: dict, *, tolerance: float = 0.10) -> dict:
+    """Diff two bench reports metric by metric.
+
+    Returns ``{"rows": [...], "dropped": [...], "added": [...],
+    "worst_regression": float, "tolerance": float, "ok": bool}``.  Each
+    row carries the dotted section path, both values, the new/old ratio
+    and a ``regression`` fraction — how much *worse* the new value is in
+    the metric's bad direction (0.0 when equal or improved).  ``ok`` is
+    False when any regression exceeds ``tolerance``.  Sections present
+    in only one report (a retired or new variant) are listed, not
+    compared — retiring a backend must not read as a regression.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    old_leaves = _metric_leaves(old)
+    new_leaves = _metric_leaves(new)
+    rows: list[dict] = []
+    for path in sorted(old_leaves.keys() & new_leaves.keys()):
+        before, after = old_leaves[path], new_leaves[path]
+        direction = _metric_direction(path)
+        if before <= 0:
+            continue
+        ratio = after / before
+        if direction == "higher":
+            regression = max(0.0, 1.0 - ratio)
+            improvement = max(0.0, ratio - 1.0)
+        else:
+            regression = max(0.0, ratio - 1.0)
+            improvement = max(0.0, 1.0 - ratio)
+        rows.append(
+            {
+                "section": ".".join(path),
+                "old": before,
+                "new": after,
+                "ratio": ratio,
+                "direction": direction,
+                "regression": regression,
+                "improvement": improvement,
+            }
+        )
+    worst = max((row["regression"] for row in rows), default=0.0)
+    return {
+        "rows": rows,
+        "dropped": sorted(".".join(p) for p in old_leaves.keys() - new_leaves.keys()),
+        "added": sorted(".".join(p) for p in new_leaves.keys() - old_leaves.keys()),
+        "worst_regression": worst,
+        "tolerance": tolerance,
+        "ok": worst <= tolerance,
+    }
+
+
+def render_compare(result: dict) -> str:
+    """Human summary of one :func:`compare_bench` result."""
+    lines = []
+    width = max((len(r["section"]) for r in result["rows"]), default=10)
+    for row in result["rows"]:
+        if row["regression"] > 0:
+            signed = -row["regression"]
+        else:
+            signed = row["improvement"]
+        flag = ""
+        if row["regression"] > result["tolerance"]:
+            flag = "  << REGRESSED"
+        lines.append(
+            f"  {row['section']:<{width}}  {row['old']:>14,.3f} -> "
+            f"{row['new']:>14,.3f}  {signed:+8.1%}{flag}"
+        )
+    for path in result["dropped"]:
+        lines.append(f"  {path:<{width}}  (dropped in new report)")
+    for path in result["added"]:
+        lines.append(f"  {path:<{width}}  (new in new report)")
+    verdict = "within tolerance" if result["ok"] else "REGRESSION"
+    lines.append(
+        f"{len(result['rows'])} metric(s) compared; worst regression "
+        f"{result['worst_regression']:.1%} vs tolerance "
+        f"{result['tolerance']:.1%} -> {verdict}"
+    )
     return "\n".join(lines)

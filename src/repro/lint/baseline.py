@@ -1,0 +1,124 @@
+"""Suppression baseline — the lint ratchet.
+
+A baseline file records fingerprints of *accepted* findings (either
+intentional — seeded fixtures, oracle code — or pre-existing debt).
+``repro lint --baseline .lint-baseline.json`` drops baselined findings,
+so CI fails only on findings **not** in the file: existing debt never
+blocks a PR, new debt always does, and deleting entries is the only way
+the count moves — a one-way ratchet.
+
+Fingerprints are line-number-*insensitive*: ``sha1(rule | logical path |
+stripped source line | occurrence)`` — so unrelated edits that shift a
+file do not invalidate the baseline, while changing the flagged line
+itself (or adding a second identical violation) surfaces as new.
+
+Regenerate after intentional changes with ``repro lint --strict
+--update-baseline .lint-baseline.json`` and commit the diff; the review
+of that diff *is* the audit of the accepted findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "fingerprint", "apply_baseline"]
+
+_SCHEMA = 1
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable identity of one finding (line-number-insensitive)."""
+    key = "|".join(
+        (
+            finding.rule,
+            finding.logical or finding.path,
+            finding.snippet.strip(),
+            str(occurrence),
+        )
+    )
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+
+def _fingerprints(findings: list[Finding]) -> list[tuple[Finding, str]]:
+    """Fingerprint a finding list, disambiguating identical lines."""
+    seen: dict[str, int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in findings:
+        base = f"{finding.rule}|{finding.logical or finding.path}|{finding.snippet.strip()}"
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out.append((finding, fingerprint(finding, occurrence)))
+    return out
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints plus human-readable context."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(
+                f"{path}: not a lint baseline file (missing 'entries')"
+            )
+        return cls(entries={e["fingerprint"]: e for e in data["entries"]})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = {}
+        for finding, fp in _fingerprints(findings):
+            entries[fp] = {
+                "fingerprint": fp,
+                "rule": finding.rule,
+                "path": finding.logical or finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "schema": _SCHEMA,
+            "tool": "repro-lint",
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e["path"], e["rule"], e.get("line", 0)),
+            ),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], int]:
+    """Split findings into (surviving, baselined-count)."""
+    surviving: list[Finding] = []
+    dropped = 0
+    for finding, fp in _fingerprints(findings):
+        if fp in baseline:
+            dropped += 1
+        else:
+            surviving.append(finding)
+    return surviving, dropped

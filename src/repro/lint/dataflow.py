@@ -1,0 +1,395 @@
+"""Provenance dataflow for the R100-R103 rule family.
+
+A deliberately small abstract interpretation: every expression gets a
+*provenance set* over four tags, computed per function in statement
+order (flow-insensitive joins — rebinding unions rather than kills, the
+conservative polarity for a linter):
+
+- ``RNG_OK`` — value traces to :func:`repro.util.rng.spawn_child` /
+  :func:`~repro.util.rng.as_generator`, the sanctioned RNG roots;
+- ``RNG_BAD`` — value traces to ``numpy.random.default_rng`` /
+  ``numpy.random.Generator`` / stdlib ``random``, i.e. a stream outside
+  the seed tree;
+- ``MASK`` — a boolean PE-selection expression (array comparison,
+  ``&``/``|``/``~`` algebra over masks);
+- ``MASK_INDEX`` — PE indices *derived from* a mask
+  (``np.flatnonzero(mask)``, ``mask.nonzero()``, ``np.where(mask)``,
+  or fancy-indexed views of such indices like ``pes[live]``).
+
+Interprocedural propagation runs the intraprocedural pass to fixpoint
+over the project call graph (bounded iterations — the lattice is four
+monotone bits per variable, so convergence is fast):
+
+- **return provenance**: a project-local call contributes its callee's
+  return tags, so ``gen = make_rng()`` is RNG_BAD when ``make_rng``
+  returns ``default_rng(...)`` — even across modules;
+- **parameter provenance**: a parameter inherits the union of the
+  provenance its resolved call sites pass, so ``donate(self, donors)``
+  sees MASK_INDEX when every caller passes ``np.flatnonzero(alive)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.graph import FunctionInfo, ProjectIndex
+from repro.lint.rules import resolve_call
+
+__all__ = [
+    "RNG_OK",
+    "RNG_BAD",
+    "MASK",
+    "MASK_INDEX",
+    "FunctionFacts",
+    "analyze_function",
+    "compute_project_facts",
+    "expression_provenance",
+]
+
+RNG_OK = "rng-ok"
+RNG_BAD = "rng-bad"
+MASK = "mask"
+MASK_INDEX = "mask-index"
+
+#: Sanctioned RNG roots (R100's "traces back to spawn_child" set).
+_RNG_OK_CALLS = frozenset(
+    {
+        "repro.util.rng.spawn_child",
+        "repro.util.rng.as_generator",
+    }
+)
+#: Unsanctioned stream constructors.
+_RNG_BAD_CALLS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "random.Random",
+        "random.SystemRandom",
+    }
+)
+#: numpy calls that turn a mask into PE indices.
+_MASK_INDEX_CALLS = frozenset(
+    {
+        "numpy.flatnonzero",
+        "numpy.nonzero",
+        "numpy.where",
+        "numpy.argwhere",
+    }
+)
+#: method names with the same effect on a mask receiver.
+_MASK_INDEX_METHODS = frozenset({"nonzero"})
+#: numpy reshaping/ordering calls whose result keeps its inputs' tags —
+#: ``np.repeat(pes, lens)`` is still a mask-derived index set.
+_PASSTHROUGH_CALLS = frozenset(
+    {
+        "numpy.repeat",
+        "numpy.tile",
+        "numpy.concatenate",
+        "numpy.unique",
+        "numpy.sort",
+        "numpy.flip",
+        "numpy.asarray",
+        "numpy.array",
+        "numpy.ascontiguousarray",
+        "numpy.copy",
+        "numpy.minimum",
+        "numpy.maximum",
+    }
+)
+
+
+@dataclass
+class FunctionFacts:
+    """Interprocedural summary of one function."""
+
+    returns: set[str] = field(default_factory=set)
+    #: parameter name -> union of provenance passed by resolved call sites.
+    params: dict[str, set[str]] = field(default_factory=dict)
+    #: variable name -> provenance at end of the (flow-insensitive) pass.
+    env: dict[str, set[str]] = field(default_factory=dict)
+
+
+def _assign_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_assign_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _assign_names(target.value)
+    return []
+
+
+def expression_provenance(
+    expr: ast.expr,
+    env: dict[str, set[str]],
+    bindings: dict[str, str],
+    *,
+    fn: FunctionInfo | None = None,
+    project: ProjectIndex | None = None,
+    facts: dict[str, FunctionFacts] | None = None,
+) -> set[str]:
+    """Provenance tags of one expression under the variable environment."""
+    if isinstance(expr, ast.Name):
+        return set(env.get(expr.id, ()))
+    if isinstance(expr, ast.Call):
+        dotted = resolve_call(expr.func, bindings)
+        if dotted is not None:
+            if dotted in _RNG_OK_CALLS:
+                return {RNG_OK}
+            if dotted in _RNG_BAD_CALLS or dotted.startswith(
+                ("numpy.random.", "random.")
+            ):
+                return {RNG_BAD}
+            if dotted in _MASK_INDEX_CALLS:
+                # Three-argument np.where is an elementwise select, not a
+                # mask-to-indices conversion — pass tags through instead.
+                if dotted == "numpy.where" and len(expr.args) == 3:
+                    out: set[str] = set()
+                    for arg in expr.args:
+                        out |= expression_provenance(
+                            arg, env, bindings,
+                            fn=fn, project=project, facts=facts,
+                        )
+                    return out - {MASK}
+                return {MASK_INDEX}
+            if dotted in _PASSTHROUGH_CALLS:
+                out = set()
+                for arg in expr.args:
+                    out |= expression_provenance(
+                        arg, env, bindings, fn=fn, project=project, facts=facts
+                    )
+                return out
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _MASK_INDEX_METHODS
+        ):
+            return {MASK_INDEX}
+        # Project-local call: use the callee's return summary.
+        if fn is not None and project is not None and facts is not None:
+            callee = project.resolve_callee(fn, expr)
+            if callee is not None and callee.qualname in facts:
+                return set(facts[callee.qualname].returns)
+        return set()
+    if isinstance(expr, ast.Compare):
+        return {MASK}
+    if isinstance(expr, ast.UnaryOp):
+        inner = expression_provenance(
+            expr.operand, env, bindings, fn=fn, project=project, facts=facts
+        )
+        if isinstance(expr.op, ast.Invert):
+            return inner | {MASK} if MASK in inner or not inner else inner
+        return inner
+    if isinstance(expr, ast.BinOp):
+        left = expression_provenance(
+            expr.left, env, bindings, fn=fn, project=project, facts=facts
+        )
+        right = expression_provenance(
+            expr.right, env, bindings, fn=fn, project=project, facts=facts
+        )
+        merged = left | right
+        if isinstance(expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            # mask algebra: a & b keeps maskness if either side is a mask.
+            return merged
+        # arithmetic on mask indices (e.g. pes + offset) keeps index-ness.
+        return merged
+    if isinstance(expr, ast.BoolOp):
+        out: set[str] = set()
+        for value in expr.values:
+            out |= expression_provenance(
+                value, env, bindings, fn=fn, project=project, facts=facts
+            )
+        return out
+    if isinstance(expr, ast.Subscript):
+        # pes[live], idx[:k] — a view of mask-derived indices stays
+        # derived; selecting *by* a mask (donors[valid]) yields a
+        # mask-compressed set even when the base carries no tags.
+        base = expression_provenance(
+            expr.value, env, bindings, fn=fn, project=project, facts=facts
+        )
+        index = expression_provenance(
+            expr.slice, env, bindings, fn=fn, project=project, facts=facts
+        )
+        if {MASK, MASK_INDEX} & index:
+            return (base | {MASK_INDEX}) - {MASK}
+        return base
+    if isinstance(expr, ast.Attribute):
+        # conservative: attribute loads carry no provenance of their own,
+        # but self-attribute masks named alive/active are runtime state
+        # the fault runtime maintains — treat them as masks.
+        if expr.attr in ("alive", "active", "alive_mask", "active_mask"):
+            return {MASK}
+        return set()
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        out = set()
+        for elt in expr.elts:
+            out |= expression_provenance(
+                elt, env, bindings, fn=fn, project=project, facts=facts
+            )
+        return out
+    if isinstance(expr, ast.IfExp):
+        return expression_provenance(
+            expr.body, env, bindings, fn=fn, project=project, facts=facts
+        ) | expression_provenance(
+            expr.orelse, env, bindings, fn=fn, project=project, facts=facts
+        )
+    if isinstance(expr, ast.NamedExpr):
+        return expression_provenance(
+            expr.value, env, bindings, fn=fn, project=project, facts=facts
+        )
+    return set()
+
+
+def _walk_own(root: ast.AST):
+    """``ast.walk`` that does not descend into nested def/class bodies.
+
+    Nested functions are indexed and analyzed as functions in their own
+    right, so mixing their statements into the parent's environment would
+    double-count provenance.  Yields in source order (preorder) — the
+    flow-insensitive pass binds in statement order, so a reversed walk
+    would miss every definition-before-use chain.
+    """
+    stack = list(ast.iter_child_nodes(root))[::-1]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(list(ast.iter_child_nodes(node))[::-1])
+
+
+def analyze_function(
+    fn: FunctionInfo,
+    bindings: dict[str, str],
+    *,
+    project: ProjectIndex | None = None,
+    facts: dict[str, FunctionFacts] | None = None,
+    param_seed: dict[str, set[str]] | None = None,
+) -> FunctionFacts:
+    """One intraprocedural pass: variable env + return provenance.
+
+    ``param_seed`` injects interprocedural parameter provenance from the
+    previous fixpoint iteration.
+    """
+    out = FunctionFacts()
+    env: dict[str, set[str]] = {}
+    if param_seed:
+        for name, tags in param_seed.items():
+            env[name] = set(tags)
+
+    def prov(expr: ast.expr) -> set[str]:
+        return expression_provenance(
+            expr, env, bindings, fn=fn, project=project, facts=facts
+        )
+
+    def bind(target: ast.expr, tags: set[str]) -> None:
+        for name in _assign_names(target):
+            env.setdefault(name, set()).update(tags)
+
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Assign):
+            tags = prov(node.value)
+            if tags:
+                for target in node.targets:
+                    bind(target, tags)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            tags = prov(node.value)
+            if tags:
+                bind(node.target, tags)
+        elif isinstance(node, ast.AugAssign):
+            tags = prov(node.value)
+            if tags:
+                bind(node.target, tags)
+        elif isinstance(node, ast.For):
+            tags = prov(node.iter)
+            if tags:
+                bind(node.target, tags)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            tags = prov(node.context_expr)
+            if tags:
+                bind(node.optional_vars, tags)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            out.returns |= prov(node.value)
+    out.env = env
+    return out
+
+
+def compute_project_facts(
+    project: ProjectIndex, *, max_iterations: int = 4
+) -> dict[str, FunctionFacts]:
+    """Fixpoint of the per-function pass over the whole call graph."""
+    facts: dict[str, FunctionFacts] = {
+        qn: FunctionFacts() for qn in project.functions
+    }
+    param_prov: dict[str, dict[str, set[str]]] = {
+        qn: {} for qn in project.functions
+    }
+    for _ in range(max_iterations):
+        changed = False
+        for qn, fn in project.functions.items():
+            module = project.modules.get(fn.module)
+            bindings = module.bindings if module is not None else {}
+            new = analyze_function(
+                fn,
+                bindings,
+                project=project,
+                facts=facts,
+                param_seed=param_prov[qn],
+            )
+            if new.returns != facts[qn].returns or new.env != facts[qn].env:
+                changed = True
+            new.params = {k: set(v) for k, v in param_prov[qn].items()}
+            facts[qn] = new
+        # Propagate argument provenance into callee parameters.
+        for qn, fn in project.functions.items():
+            module = project.modules.get(fn.module)
+            bindings = module.bindings if module is not None else {}
+            env = facts[qn].env
+            for node in _walk_own(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_callee(fn, node)
+                if callee is None:
+                    continue
+                params = callee.params
+                # skip the bound receiver for method calls
+                offset = 1 if params and params[0] in ("self", "cls") else 0
+                positional = params[offset:]
+                for i, arg in enumerate(node.args):
+                    if i >= len(positional):
+                        break
+                    tags = expression_provenance(
+                        arg, env, bindings, fn=fn, project=project, facts=facts
+                    )
+                    if not tags:
+                        continue
+                    slot = param_prov[callee.qualname].setdefault(
+                        positional[i], set()
+                    )
+                    if not tags <= slot:
+                        slot |= tags
+                        changed = True
+                for kw in node.keywords:
+                    if kw.arg is None or kw.arg not in params:
+                        continue
+                    tags = expression_provenance(
+                        kw.value, env, bindings, fn=fn, project=project,
+                        facts=facts,
+                    )
+                    if not tags:
+                        continue
+                    slot = param_prov[callee.qualname].setdefault(kw.arg, set())
+                    if not tags <= slot:
+                        slot |= tags
+                        changed = True
+        if not changed:
+            break
+    for qn in facts:
+        facts[qn].params = {k: set(v) for k, v in param_prov[qn].items()}
+    return facts

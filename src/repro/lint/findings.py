@@ -30,7 +30,8 @@ class Finding:
     message:
         Human-readable explanation with the sanctioned alternative.
     severity:
-        :class:`Severity`; every built-in rule emits ``ERROR``.
+        :class:`Severity`; every built-in rule emits ``ERROR`` unless a
+        ``[tool.repro.lint] severity`` override downgrades it.
     """
 
     rule: str
@@ -39,6 +40,13 @@ class Finding:
     col: int
     message: str
     severity: Severity = Severity.ERROR
+    #: package-relative posix path (``repro/core/scheduler.py``) — filled
+    #: by the engine; used by the baseline fingerprint so baselines stay
+    #: valid when the checkout moves.
+    logical: str = ""
+    #: stripped source text of the flagged line — the line-insensitive
+    #: half of the baseline fingerprint.
+    snippet: str = ""
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -51,6 +59,8 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "severity": self.severity.value,
+            "logical": self.logical,
+            "snippet": self.snippet,
         }
 
     def render(self) -> str:

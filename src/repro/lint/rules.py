@@ -55,13 +55,18 @@ class LintContext:
 
     ``logical`` is the package-relative posix path (e.g.
     ``repro/core/scheduler.py``) used for scoping and exemptions;
-    ``path`` is the on-disk path used in findings.
+    ``path`` is the on-disk path used in findings.  ``project`` and
+    ``dataflow`` are filled by the engine when a project-aware rule
+    (R100-R103) is active: the cross-module index/call graph and the
+    per-function provenance facts.
     """
 
     path: Path
     logical: str
     source: str
     tree: ast.Module
+    project: object | None = None
+    dataflow: dict | None = None
 
 
 def collect_imports(tree: ast.Module) -> dict[str, str]:
@@ -115,6 +120,11 @@ class Rule:
     rule_id: str = "R000"
     title: str = "abstract"
     severity: Severity = Severity.ERROR
+    #: ``"basic"`` rules (R001-R005) run always; ``"dataflow"`` rules
+    #: (R100-R103) run under ``--strict`` or when named explicitly.
+    family: str = "basic"
+    #: True when the rule consumes ``ctx.project`` / ``ctx.dataflow``.
+    requires_project: bool = False
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         """Yield findings for one module."""
@@ -140,15 +150,37 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def rule_ids() -> list[str]:
+def _ensure_registered() -> None:
+    """Import the dataflow rule module so its rules join the registry.
+
+    Lazy to avoid a cycle: ``rules_dataflow`` imports this module's base
+    classes at load time.
+    """
+    from repro.lint import rules_dataflow  # noqa: F401
+
+
+def rule_ids(*, include_dataflow: bool = True) -> list[str]:
     """All registered rule identifiers, sorted."""
-    return sorted(_REGISTRY)
+    _ensure_registered()
+    return sorted(
+        rid
+        for rid, cls in _REGISTRY.items()
+        if include_dataflow or cls.family == "basic"
+    )
 
 
-def all_rules(subset: Iterable[str] | None = None) -> list[Rule]:
-    """Instantiate the registered rules (optionally a named subset)."""
+def all_rules(
+    subset: Iterable[str] | None = None, *, include_dataflow: bool = False
+) -> list[Rule]:
+    """Instantiate the registered rules (optionally a named subset).
+
+    With no ``subset``, the basic family (R001-R005) is returned;
+    ``include_dataflow=True`` (the ``--strict`` path) adds R100-R103.
+    An explicit ``subset`` may name rules from either family.
+    """
+    _ensure_registered()
     if subset is None:
-        ids = rule_ids()
+        ids = rule_ids(include_dataflow=include_dataflow)
     else:
         ids = list(dict.fromkeys(s.upper() for s in subset))
         unknown = [i for i in ids if i not in _REGISTRY]
@@ -295,7 +327,16 @@ class ModuleDiscipline(Rule):
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         basename = Path(ctx.logical).name
-        if not basename.startswith("_") and not self._defines_all(ctx.tree):
+        # The __all__ requirement is a *package-surface* contract: it only
+        # applies to modules inside the repro package (logical path under
+        # ``repro/``).  Test modules are never imported as an API, so
+        # demanding __all__ there would be pure noise.
+        in_package = ctx.logical.startswith("repro/")
+        if (
+            in_package
+            and not basename.startswith("_")
+            and not self._defines_all(ctx.tree)
+        ):
             yield Finding(
                 rule=self.rule_id,
                 path=str(ctx.path),
@@ -310,7 +351,7 @@ class ModuleDiscipline(Rule):
                 continue
             if not self._calls_pvar(fn):
                 continue
-            doc = ast.get_docstring(fn) or ""
+            doc = (ast.get_docstring(fn) or "").lower()
             if "full-width" in doc or self._has_where(fn):
                 continue
             yield self.finding(

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output — findings as PR annotations.
+
+``repro lint --format sarif`` emits one SARIF run per invocation so CI
+can upload the report (``github/codeql-action/upload-sarif``) and GitHub
+renders every finding inline on the pull request diff.  The emitted
+shape sticks to the stable core of the spec: ``tool.driver`` with the
+full rule catalog, one ``result`` per finding with a physical location,
+and a ``partialFingerprints`` entry carrying the same line-insensitive
+hash the baseline ratchet uses, so GitHub's alert dedup and our
+baseline agree on identity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.baseline import _fingerprints
+from repro.lint.engine import LintResult
+from repro.lint.findings import Severity
+from repro.lint.rules import all_rules
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://github.com/repro/repro/blob/main/docs/lint.md"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _uri(path: str) -> str:
+    """Repo-relative posix URI when possible, else the absolute path."""
+    p = Path(path)
+    try:
+        return p.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def to_sarif(result: LintResult, *, rule_ids: list[str] | None = None) -> dict:
+    """Build the SARIF 2.1.0 log object for one lint run."""
+    rules = all_rules(rule_ids) if rule_ids else all_rules(include_dataflow=True)
+    catalog = []
+    index_of: dict[str, int] = {}
+    for i, rule in enumerate(rules):
+        index_of[rule.rule_id] = i
+        catalog.append(
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title},
+                "helpUri": _INFO_URI,
+                "defaultConfiguration": {"level": _level(rule.severity)},
+            }
+        )
+    results = []
+    for finding, fp in _fingerprints(result.findings):
+        entry = {
+            "ruleId": finding.rule,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "partialFingerprints": {"reproLint/v1": fp},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(finding.path)},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in index_of:
+            entry["ruleIndex"] = index_of[finding.rule]
+        results.append(entry)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFO_URI,
+                        "version": "2.0.0",
+                        "rules": catalog,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF log as pretty-printed JSON."""
+    return json.dumps(to_sarif(result), indent=2, sort_keys=True)

@@ -90,7 +90,11 @@ class SearchArena:
     # -- stack operations ---------------------------------------------------
 
     def push_root(self, pe: int, tiles_row: np.ndarray, meta_row: np.ndarray) -> None:
-        """Seed one PE with a single entry (the root on PE 0)."""
+        """Seed one PE with a single entry (the root on PE 0).
+
+        Unmasked single-PE setup write: runs once before the lock-step
+        loop starts, so no alive mask exists to guard it yet.
+        """
         self.tiles[pe, self.top[pe]] = tiles_row
         self.meta[pe, self.top[pe]] = meta_row
         self.top[pe] += 1
@@ -149,7 +153,11 @@ class SearchArena:
         """Move the bottom ``count // 2`` entries to an empty receiver,
         re-ordered shallow-to-deep by ``g`` (stable), matching the list
         backend's ``split_half`` receiver rebuild.  Returns the number of
-        entries moved (the caller checks donor >= 2, receiver empty)."""
+        entries moved (the caller checks donor >= 2, receiver empty).
+
+        Unmasked scalar-pair helper: the "half" ablation drives it one
+        validated donor/receiver pair at a time from Python.
+        """
         take = int(self.top[donor] - self.bottom[donor]) // 2
         if take == 0:
             return 0
@@ -170,6 +178,8 @@ class SearchArena:
         The PE is left empty with its pointers rewound to slot 0.  Used by
         the fault layer to quarantine a dead PE's frontier; the returned
         ``(tiles, meta)`` pair round-trips through :meth:`inject_window`.
+        Unmasked single-PE operation — the target PE is already dead, so
+        the alive mask excludes rather than selects it.
         """
         tiles, meta = self.entry_rows(pe)
         self.bottom[pe] = 0

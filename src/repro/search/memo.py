@@ -1,24 +1,30 @@
-"""Bounded per-problem heuristic memoization (the list backend's cache).
+"""Bounded per-problem heuristic memoization — **deprecated**.
 
-IDA* revisits states constantly — every iteration re-expands the whole
-tree of the previous bound, and the 15-puzzle's transposition structure
-revisits states within one iteration too.  The list backend recomputed
-``h`` from scratch each time.  :class:`HeuristicMemo` wraps a problem's
-heuristic in a bounded hashable-state -> value dict so revisits become
-one lookup, with hit/miss counters the bench harness surfaces next to
-its timing numbers.
+IDA* revisits states constantly, so caching ``h(state)`` looked like an
+easy win for the list backend.  The bench said otherwise:
+``BENCH_search.json`` times the memoized list backend at ~97.6k nodes/s
+against ~165k nodes/s for the *plain* list backend — hashing a whole
+puzzle state per lookup costs more than recomputing the incremental
+Manhattan heuristic it was caching.  The arena backend never needed it:
+its delta tables make ``h`` O(1) per child with no per-state
+bookkeeping at all.
+
+:class:`HeuristicMemo` is therefore retired: constructing one emits a
+:class:`DeprecationWarning`, ``ParallelIDAStar`` defaults it off, and
+the ``list-memo`` bench variant is gone.  The class stays importable so
+old result scripts keep running, and because lint rule **R102** uses it
+as the canonical per-state-memoization anti-pattern (it flags any
+``HeuristicMemo(...)`` constructed in kernel-marked code).
 
 Memoizing a *pure* function changes no search decision, so a memoized
 run stays expansion-count- and solution-identical to an unmemoized one
-(asserted by the tests).  Eviction is FIFO (insertion order) rather
-than LRU: deterministic, O(1), and good enough for DFS locality.
-
-The arena backend needs none of this — its delta table makes ``h``
-O(1) per child with no per-state bookkeeping at all.
+(still asserted by the tests).  Eviction is FIFO (insertion order):
+deterministic, O(1), and good enough for DFS locality.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Hashable
 
 __all__ = ["HeuristicMemo"]
@@ -44,6 +50,14 @@ class HeuristicMemo:
     def __init__(
         self, heuristic: Callable[[Hashable], int], *, max_entries: int = 1 << 16
     ) -> None:
+        warnings.warn(
+            "HeuristicMemo is deprecated: BENCH_search.json shows the "
+            "memoized list backend is slower than the plain one (whole-"
+            "state hashing costs more than recomputing h); prefer the "
+            "arena backend's incremental delta tables",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._heuristic = heuristic

@@ -13,8 +13,9 @@ Two storage backends implement the same workload, mirroring the
 
 - ``backend="list"`` — one :class:`~repro.search.stack.DFSStack` per PE,
   expanded in a per-PE Python loop.  The transparent oracle; works with
-  any :class:`~repro.search.problem.SearchProblem`, optionally caching
-  ``h`` through a :class:`~repro.search.memo.HeuristicMemo`.
+  any :class:`~repro.search.problem.SearchProblem`.  (The deprecated
+  :class:`~repro.search.memo.HeuristicMemo` ablation remains available
+  via ``heuristic_memo=True`` but benches slower than recomputing.)
 - ``backend="arena"`` — all stacks packed into one
   :class:`~repro.search.arena.SearchArena`; a cycle pops every non-empty
   top, goal-tests, generates children from the problem's precomputed
@@ -284,7 +285,7 @@ class SearchWorkload:
         with span("expand.search.arena"):
             return self._expand_cycle_arena_inner()
 
-    def _expand_cycle_arena_inner(self) -> int:
+    def _expand_cycle_arena_inner(self) -> int:  # repro: kernel
         arena = self._arena
         assert arena is not None
         pes = np.flatnonzero(self._counts() > 0)
@@ -388,7 +389,7 @@ class SearchWorkload:
             moved += 1
         return moved
 
-    def _transfer_arena(self, donors: np.ndarray, receivers: np.ndarray) -> int:
+    def _transfer_arena(self, donors: np.ndarray, receivers: np.ndarray) -> int:  # repro: kernel
         arena = self._arena
         assert arena is not None
         counts = arena.counts()
@@ -539,10 +540,12 @@ class ParallelIDAStar:
         Stack storage, forwarded to the workload (``"list"`` or
         ``"arena"``); both produce identical results.
     heuristic_memo:
-        List backend only: cache child heuristics in one
+        List backend only: cache child heuristics in one (deprecated)
         :class:`~repro.search.memo.HeuristicMemo` shared across all
-        iterations (default on; pure-function caching cannot change the
-        search).  Ignored by the arena backend.
+        iterations.  Default **off** — BENCH_search.json shows the memo
+        is slower than recomputing the incremental heuristic (whole-
+        state hashing dominates); the flag remains so the ablation can
+        still be reproduced.  Ignored by the arena backend.
     sanitize:
         Forwarded to every iteration's
         :class:`~repro.core.scheduler.Scheduler` — assert the lock-step
@@ -573,7 +576,7 @@ class ParallelIDAStar:
         split: str = "bottom",
         max_iterations: int = 100,
         backend: str = "list",
-        heuristic_memo: bool = True,
+        heuristic_memo: bool = False,
         sanitize: bool = False,
         faults: FaultPlan | None = None,
         obs: Observability | None = None,

@@ -125,7 +125,11 @@ class StackArena:
         return self.top - self.bottom
 
     def push_root(self, pe: int, value: int) -> None:
-        """Seed one PE with a single entry (the whole tree on PE 0)."""
+        """Seed one PE with a single entry (the whole tree on PE 0).
+
+        Unmasked single-PE setup write: runs once before the lock-step
+        loop starts, so no alive mask exists to guard it yet.
+        """
         self.data[pe, self.top[pe]] = value
         self.top[pe] += 1
 
@@ -169,7 +173,9 @@ class StackArena:
         """Remove and return PE ``pe``'s live window (bottom -> top order).
 
         The PE is left empty with its pointers rewound to column 0.  Used
-        by the fault layer to quarantine a dead PE's frontier.
+        by the fault layer to quarantine a dead PE's frontier.  Unmasked
+        single-PE operation — the target PE is already dead, so the alive
+        mask excludes rather than selects it.
         """
         values = self.data[pe, self.bottom[pe] : self.top[pe]].copy()
         self.bottom[pe] = 0

@@ -197,7 +197,7 @@ class StackWorkload:
         with span("expand.stack.arena"):
             return self._expand_cycle_arena_inner()
 
-    def _expand_cycle_arena_inner(self) -> int:
+    def _expand_cycle_arena_inner(self) -> int:  # repro: kernel
         arena = self._arena
         assert arena is not None
         pes = np.flatnonzero(self._counts() > 0)

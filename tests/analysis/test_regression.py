@@ -8,6 +8,7 @@ from repro.analysis.regression import (
     fit_model,
     select_model,
 )
+from repro.util.rng import as_generator
 
 
 def curve(f, pes=(64, 128, 256, 512, 1024), c=5.0):
@@ -46,9 +47,8 @@ class TestSelectModel:
         assert ranked[0].model == true_model
 
     def test_noisy_plogp_still_wins_over_p2(self):
-        import numpy as np
 
-        rng = np.random.default_rng(0)
+        rng = as_generator(0)
         f = CANDIDATE_MODELS["PlogP"]
         pts = [
             (p, 3.0 * f(p) * math.exp(rng.normal(0, 0.05)))

@@ -9,6 +9,7 @@ from repro.core.splitting import (
     HalfSplitter,
     UnitSplitter,
 )
+from repro.util.rng import as_generator
 
 
 class TestAlphaSplitter:
@@ -26,7 +27,7 @@ class TestAlphaSplitter:
 
     def test_rejects_small_donor(self):
         with pytest.raises(ValueError, match="at least 2"):
-            AlphaSplitter().donation(np.array([1]), np.random.default_rng(0))
+            AlphaSplitter().donation(np.array([1]), as_generator(0))
 
     @given(
         st.lists(st.integers(2, 10**9), min_size=1, max_size=50),
@@ -35,7 +36,7 @@ class TestAlphaSplitter:
     @settings(max_examples=60, deadline=None)
     def test_both_pieces_nonempty(self, works, seed):
         w = np.array(works, dtype=np.int64)
-        d = AlphaSplitter().donation(w, np.random.default_rng(seed))
+        d = AlphaSplitter().donation(w, as_generator(seed))
         assert np.all(d >= 1)
         assert np.all(d <= w - 1)
 
@@ -46,33 +47,33 @@ class TestAlphaSplitter:
         # fraction must respect [alpha_min, alpha_max].
         sp = AlphaSplitter(alpha_min=0.2, alpha_max=0.5)
         w = np.full(20, work, dtype=np.int64)
-        d = sp.donation(w, np.random.default_rng(seed))
+        d = sp.donation(w, as_generator(seed))
         frac = d / w
         assert np.all(frac >= 0.2 - 1 / work)
         assert np.all(frac <= 0.5 + 1 / work)
 
     def test_wide_splitter_allows_large_donations(self):
         sp = AlphaSplitter(alpha_min=0.02, alpha_max=0.98)
-        d = sp.donation(np.full(2000, 10_000, dtype=np.int64), np.random.default_rng(1))
+        d = sp.donation(np.full(2000, 10_000, dtype=np.int64), as_generator(1))
         assert (d / 10_000 > 0.6).any()
 
 
 class TestHalfSplitter:
     def test_exactly_half(self):
-        d = HalfSplitter().donation(np.array([10, 11]), np.random.default_rng(0))
+        d = HalfSplitter().donation(np.array([10, 11]), as_generator(0))
         # 11/2 rounds to even -> 6 via rint? rint(5.5) = 6; clip keeps <= 10.
         assert d[0] == 5
         assert d[1] in (5, 6)
 
     def test_minimum_donor(self):
-        d = HalfSplitter().donation(np.array([2]), np.random.default_rng(0))
+        d = HalfSplitter().donation(np.array([2]), as_generator(0))
         assert d[0] == 1
 
 
 class TestFixedFractionSplitter:
     def test_fraction_applied(self):
         sp = FixedFractionSplitter(alpha_min=0.1, fraction=0.25)
-        d = sp.donation(np.array([100]), np.random.default_rng(0))
+        d = sp.donation(np.array([100]), as_generator(0))
         assert d[0] == 25
 
     def test_fraction_out_of_band_rejected(self):
@@ -82,13 +83,13 @@ class TestFixedFractionSplitter:
 
 class TestUnitSplitter:
     def test_donates_one(self):
-        d = UnitSplitter().donation(np.array([2, 100, 10**6]), np.random.default_rng(0))
+        d = UnitSplitter().donation(np.array([2, 100, 10**6]), as_generator(0))
         assert np.array_equal(d, [1, 1, 1])
 
     def test_fractions_unsupported(self):
         with pytest.raises(TypeError):
-            UnitSplitter().fractions(3, np.random.default_rng(0))
+            UnitSplitter().fractions(3, as_generator(0))
 
     def test_rejects_small_donor(self):
         with pytest.raises(ValueError):
-            UnitSplitter().donation(np.array([1]), np.random.default_rng(0))
+            UnitSplitter().donation(np.array([1]), as_generator(0))

@@ -2,11 +2,15 @@
 
 import json
 
+import pytest
+
 from repro.experiments.bench import (
     bench_expand_kernel,
     bench_full_run,
     bench_grid,
     bench_search_kernel,
+    compare_bench,
+    render_compare,
     run_bench,
     run_search_bench,
 )
@@ -44,7 +48,8 @@ class TestSearchKernelBench:
         report = bench_search_kernel(
             n_pes=32, scramble=30, bound_slack=10, warm_cycles=16, time_cycles=4
         )
-        assert set(report["backends"]) == {"list", "list-memo", "arena"}
+        # list-memo was retired (benched slower than the plain list).
+        assert set(report["backends"]) == {"list", "arena"}
         for row in report["backends"].values():
             assert row["nodes_per_s"] > 0
         assert report["backends_identical"] is True
@@ -63,7 +68,7 @@ class TestRunSearchBench:
         full = persisted["search"]["full_ida"]
         assert full["backends_identical"] is True
         assert full["serial_parity"] is True
-        assert 0.0 <= full["h_memo_hit_rate"] <= 1.0
+        assert "h_memo_hit_rate" not in full  # retired with list-memo
         assert report["search"]["full_ida"]["total_expanded"] == full["total_expanded"]
 
 
@@ -124,3 +129,71 @@ class TestBestOfN:
         report = bench_full_run(n_pes=16, work_per_pe=20, repeats=2)
         assert report["repeats"] == 2
         assert report["metrics_identical"] is True
+
+
+def _report(nodes_per_s, seconds):
+    return {
+        "schema": 1,
+        "search": {
+            "expansion_kernel": {
+                "backends": {"arena": {"nodes_per_s": nodes_per_s}},
+            },
+            "full_ida": {"seconds": {"arena": seconds}},
+        },
+    }
+
+
+class TestCompareBench:
+    def test_within_tolerance_passes(self):
+        old = _report(100_000.0, 1.0)
+        new = _report(95_000.0, 1.04)  # 5% and 4% regressions
+        result = compare_bench(old, new, tolerance=0.10)
+        assert result["ok"] is True
+        assert result["worst_regression"] == pytest.approx(0.05)
+        assert len(result["rows"]) == 2
+
+    def test_regression_past_tolerance_fails(self):
+        old = _report(100_000.0, 1.0)
+        new = _report(80_000.0, 1.0)  # 20% throughput drop
+        result = compare_bench(old, new, tolerance=0.10)
+        assert result["ok"] is False
+        bad = [r for r in result["rows"] if r["regression"]]
+        assert len(bad) == 1
+        assert bad[0]["section"].endswith("arena.nodes_per_s")
+        assert "REGRESSED" in render_compare(result)
+
+    def test_direction_awareness(self):
+        """Lower seconds is an improvement, not a regression — and the
+        converse for throughput."""
+        old = _report(100_000.0, 1.0)
+        new = _report(120_000.0, 0.8)  # both strictly better
+        result = compare_bench(old, new, tolerance=0.0)
+        assert result["ok"] is True
+        assert all(not r["regression"] for r in result["rows"])
+        assert any(r["improvement"] for r in result["rows"])
+
+    def test_dropped_section_is_not_a_regression(self):
+        """Retiring a backend (e.g. list-memo) drops its metrics from the
+        new report; that must be reported, not scored as a failure."""
+        old = _report(100_000.0, 1.0)
+        old["search"]["expansion_kernel"]["backends"]["list-memo"] = {
+            "nodes_per_s": 50_000.0
+        }
+        new = _report(100_000.0, 1.0)
+        result = compare_bench(old, new, tolerance=0.10)
+        assert result["ok"] is True
+        assert any("list-memo" in path for path in result["dropped"])
+        assert "dropped in new report" in render_compare(result)
+
+    def test_added_section_listed(self):
+        old = _report(100_000.0, 1.0)
+        new = _report(100_000.0, 1.0)
+        new["search"]["expansion_kernel"]["backends"]["simd"] = {
+            "nodes_per_s": 1_000_000.0
+        }
+        result = compare_bench(old, new)
+        assert any("simd" in path for path in result["added"])
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_bench(_report(1.0, 1.0), _report(1.0, 1.0), tolerance=-0.1)

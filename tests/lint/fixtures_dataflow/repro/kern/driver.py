@@ -1,0 +1,22 @@
+"""Call-graph fixture: mask indices flow into the arena through a call.
+
+``donate`` derives PE indices with ``np.flatnonzero`` and hands them to
+``TinyArena.push_masked`` through an instance-attribute alias — the
+exact call style the real kernels use.  The interprocedural pass must
+carry MASK_INDEX into ``push_masked``'s ``pes`` parameter.
+"""
+
+import numpy as np
+
+from repro.kern.mask_writes import TinyArena
+
+
+class Scheduler:
+    def __init__(self, n_pes):
+        self._arena = TinyArena(n_pes)
+
+    def donate(self, counts, vals):  # repro: kernel
+        pes = np.flatnonzero(counts > 0)
+        arena = self._arena
+        arena.push_masked(pes, vals)
+        return pes

@@ -1,0 +1,36 @@
+"""R103 fixture: mask provenance for PE-indexed arena writes.
+
+``bad_unmasked_write`` is the seeded unmasked-PE-write true positive.
+``push_masked`` is only clean *interprocedurally*: its ``pes`` argument
+carries mask provenance solely from the call site in ``driver.py`` —
+linting this file alone must flag it, linting the package must not.
+"""
+
+import numpy as np
+
+
+class TinyArena:
+    def __init__(self, n_pes):
+        self.tops = np.zeros(n_pes, dtype=np.int64)
+
+    def bad_unmasked_write(self, pes, vals):  # repro: kernel
+        self.tops[pes] = vals
+
+    def push_masked(self, pes, vals):  # repro: kernel
+        self.tops[pes] = vals
+
+    def good_flatnonzero(self, alive, vals):  # repro: kernel
+        pes = np.flatnonzero(alive)
+        self.tops[pes] = vals[pes]
+
+    def good_guarded(self, counts, pe, val):  # repro: kernel
+        live = counts > 0
+        if live[pe]:
+            self.tops[pe] = val
+
+    def good_full_slice(self):  # repro: kernel
+        self.tops[:] = 0
+
+    def good_documented(self, pes, vals):  # repro: kernel
+        """Full-width setup write; every PE is reinitialized."""
+        self.tops[pes] = vals

@@ -1,0 +1,34 @@
+"""R101 fixture: host-environment nondeterminism in kernel code.
+
+Positives cover every source class the rule knows: wall-clock reads,
+``os.environ``, set-order iteration, and ``id()``-keyed maps.  The
+near-misses are the same constructs outside kernel scope or behind a
+``sorted()`` view.
+"""
+
+import os
+import time
+
+
+def bad_clock():  # repro: kernel
+    return time.perf_counter()
+
+
+def bad_environ():  # repro: kernel
+    return os.environ["OMP_NUM_THREADS"]
+
+
+def bad_set_iteration(xs):  # repro: kernel
+    return [x for x in set(xs)]
+
+
+def bad_id_keyed(objs):  # repro: kernel
+    return {id(o): o for o in objs}
+
+
+def near_miss_not_kernel():
+    return time.perf_counter()
+
+
+def near_miss_sorted_view(xs):  # repro: kernel
+    return [x for x in sorted(set(xs))]

@@ -1,0 +1,36 @@
+"""R100 fixture: RNG provenance in kernel-marked code.
+
+Seeded true positives: a kernel binding a stream straight from
+``numpy.random.default_rng`` (the non-spawn_child case), the same
+stream laundered through a local helper, and a draw from it.
+Near-misses: streams rooted at ``as_generator`` / ``spawn_child`` must
+stay clean.
+"""
+
+import numpy as np
+
+from repro.util.rng import as_generator, spawn_child
+
+
+def _launder(seed):
+    return np.random.default_rng(seed)
+
+
+def bad_direct(seed):  # repro: kernel
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 10)
+
+
+def bad_laundered(seed):  # repro: kernel
+    gen = _launder(seed)
+    return gen
+
+
+def good_as_generator(seed):  # repro: kernel
+    gen = as_generator(seed)
+    return gen.integers(0, 10)
+
+
+def good_spawn_child(seed, index):  # repro: kernel
+    gen = spawn_child(seed, index)
+    return gen.random()

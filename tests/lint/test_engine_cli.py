@@ -69,16 +69,35 @@ class TestReporting:
         rules = {f["rule"] for f in payload["findings"]}
         assert {"R001", "R002", "R003", "R004"} <= rules
         for f in payload["findings"]:
-            assert set(f) == {"rule", "path", "line", "col", "message", "severity"}
+            assert set(f) == {
+                "rule", "path", "line", "col", "message", "severity",
+                "logical", "snippet",
+            }
+            assert f["logical"].startswith("repro/")
+            assert f["snippet"]
 
     def test_missing_path_raises(self):
         with pytest.raises(FileNotFoundError):
             run_lint([str(REPO_ROOT / "no_such_dir")])
 
 
+@pytest.fixture
+def fixture_copy(tmp_path):
+    """The seeded fixture outside tests/lint/fixtures.
+
+    The repo's ``[tool.repro.lint]`` excludes the fixture tree, and the
+    CLI loads that config — so CLI tests lint a copy whose path the
+    exclude pattern does not match.
+    """
+    target = tmp_path / "repro" / "core" / "bad_discipline.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_MODULE.read_text())
+    return target
+
+
 class TestCli:
-    def test_lint_fixture_exits_nonzero(self, capsys):
-        assert main(["lint", str(FIXTURES)]) == 1
+    def test_lint_fixture_exits_nonzero(self, fixture_copy, capsys):
+        assert main(["lint", str(fixture_copy)]) == 1
         out = capsys.readouterr().out
         assert "R001" in out and "bad_discipline.py" in out
 
@@ -86,13 +105,19 @@ class TestCli:
         assert main(["lint", str(REPO_ROOT / "src")]) == 0
         assert "0 findings" in capsys.readouterr().out
 
-    def test_json_format(self, capsys):
-        assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+    def test_fixture_tree_excluded_by_repo_config(self, capsys):
+        """Linting the real fixture path through the CLI checks nothing:
+        the committed exclude keeps seeded violations out of CI runs."""
+        assert main(["lint", str(FIXTURES)]) == 0
+        assert "0 file(s) checked" in capsys.readouterr().out
+
+    def test_json_format(self, fixture_copy, capsys):
+        assert main(["lint", str(fixture_copy), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["findings"]
 
-    def test_rule_subset(self, capsys):
-        assert main(["lint", str(FIXTURES), "--rules", "R002"]) == 1
+    def test_rule_subset(self, fixture_copy, capsys):
+        assert main(["lint", str(fixture_copy), "--rules", "R002"]) == 1
         out = capsys.readouterr().out
         assert "R002" in out and "R001" not in out
 

@@ -1,0 +1,162 @@
+"""SARIF 2.1.0 shape, the baseline ratchet, and the repo self-check."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import run_lint
+from repro.lint.baseline import Baseline, apply_baseline, fingerprint
+from repro.lint.config import load_config
+from repro.lint.findings import Finding, Severity
+from repro.lint.sarif import render_sarif, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+BASELINE_PATH = REPO_ROOT / ".lint-baseline.json"
+
+
+def make_finding(line=10, snippet="x = bad()", rule="R001", logical="repro/core/m.py"):
+    return Finding(
+        rule=rule,
+        path=f"/abs/{logical}",
+        line=line,
+        col=0,
+        message="msg",
+        severity=Severity.ERROR,
+        logical=logical,
+        snippet=snippet,
+    )
+
+
+class TestSarifShape:
+    def test_log_structure(self):
+        result = run_lint([str(FIXTURES)])
+        log = to_sarif(result)
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        [run] = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        catalog = {r["id"] for r in driver["rules"]}
+        # the full catalog ships in every run, both rule families
+        assert {"R001", "R002", "R003", "R004", "R005"} <= catalog
+        assert {"R100", "R101", "R102", "R103"} <= catalog
+        assert run["results"], "fixture findings must appear as results"
+
+    def test_result_entries(self):
+        result = run_lint([str(FIXTURES)])
+        log = to_sarif(result)
+        [run] = log["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for entry in run["results"]:
+            assert entry["level"] in ("error", "warning")
+            assert entry["message"]["text"]
+            assert entry["partialFingerprints"]["reproLint/v1"]
+            [loc] = entry["locations"]
+            region = loc["physicalLocation"]["region"]
+            assert region["startLine"] >= 1 and region["startColumn"] >= 1
+            assert loc["physicalLocation"]["artifactLocation"]["uri"]
+            # ruleIndex points at the matching catalog entry
+            assert rules[entry["ruleIndex"]]["id"] == entry["ruleId"]
+
+    def test_clean_run_has_empty_results(self):
+        result = run_lint([str(REPO_ROOT / "src" / "repro" / "util")])
+        log = json.loads(render_sarif(result))
+        assert log["runs"][0]["results"] == []
+
+    def test_cli_sarif_output_parses(self, capsys):
+        main(["lint", str(FIXTURES), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+
+
+class TestFingerprint:
+    def test_line_number_insensitive(self):
+        a = make_finding(line=10)
+        b = make_finding(line=99)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_rule_path_and_snippet(self):
+        base = make_finding()
+        assert fingerprint(base) != fingerprint(make_finding(rule="R002"))
+        assert fingerprint(base) != fingerprint(
+            make_finding(logical="repro/core/other.py")
+        )
+        assert fingerprint(base) != fingerprint(make_finding(snippet="y = bad()"))
+
+    def test_duplicate_lines_get_distinct_occurrences(self):
+        findings = [make_finding(line=10), make_finding(line=20)]
+        baseline = Baseline.from_findings(findings)
+        assert len(baseline) == 2
+
+
+class TestRatchet:
+    def test_baselined_findings_drop_new_ones_survive(self):
+        old = make_finding()
+        baseline = Baseline.from_findings([old])
+        new = make_finding(snippet="z = worse()")
+        surviving, dropped = apply_baseline([old, new], baseline)
+        assert dropped == 1
+        assert surviving == [new]
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([make_finding()])
+        path = baseline.save(tmp_path / "b.json")
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert fingerprint(make_finding()) in loaded
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "b.json"
+        bad.write_text('{"not": "a baseline"}')
+        with pytest.raises(ValueError, match="entries"):
+            Baseline.load(bad)
+
+    def test_update_baseline_cli_round_trip(self, tmp_path, capsys):
+        # copy the fixture out of the config-excluded tree
+        bad = tmp_path / "repro" / "core" / "bad_discipline.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            (FIXTURES / "repro" / "core" / "bad_discipline.py").read_text()
+        )
+        path = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--update-baseline",
+                     "--baseline", str(path)]) == 0
+        capsys.readouterr()
+        # every finding is now accepted debt: the ratcheted run passes...
+        assert main(["lint", str(bad), "--baseline", str(path)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # ...and without the baseline it still fails
+        assert main(["lint", str(bad)]) == 1
+
+
+class TestRepoSelfCheck:
+    """The committed baseline matches the tree: strict lint is clean."""
+
+    def test_strict_lint_clean_against_committed_baseline(self):
+        result = run_lint(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+            strict=True,
+            config=load_config(REPO_ROOT),
+            baseline=Baseline.load(BASELINE_PATH),
+        )
+        details = [(f.rule, f.logical, f.line, f.message) for f in result.findings]
+        assert result.findings == [], details
+        assert result.ok
+
+    def test_committed_baseline_is_not_stale(self):
+        """Every baseline entry still matches a real finding — deleting
+        the accepted debt without pruning the baseline must surface."""
+        baseline = Baseline.load(BASELINE_PATH)
+        result = run_lint(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+            strict=True,
+            config=load_config(REPO_ROOT),
+            baseline=baseline,
+        )
+        assert result.baselined == len(baseline)

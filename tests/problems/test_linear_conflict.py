@@ -4,6 +4,7 @@ from hypothesis import strategies as st
 
 from repro.problems.npuzzle import SlidingPuzzle, linear_conflicts
 from repro.search.ida_star import ida_star
+from repro.util.rng import as_generator
 
 GOAL8 = tuple(list(range(1, 9)) + [0])
 
@@ -36,9 +37,8 @@ class TestLinearConflicts:
         assert linear_conflicts(tiles, 3) == 0
 
     def test_even_penalty(self):
-        import numpy as np
 
-        rng = np.random.default_rng(0)
+        rng = as_generator(0)
         for _ in range(20):
             p = SlidingPuzzle.scrambled(4, int(rng.integers(5, 60)), rng=rng)
             assert linear_conflicts(p.tiles, 4) % 2 == 0

@@ -1,10 +1,23 @@
-"""Tests for the bounded heuristic memo (list-backend cache)."""
+"""Tests for the (deprecated) bounded heuristic memo.
+
+The memo is retired — BENCH_search.json showed it slower than the plain
+list backend — but the class stays importable and semantics-preserving,
+so these tests pin both the deprecation warning and the unchanged
+behavior behind it.
+"""
 
 import pytest
 
 from repro.problems.npuzzle import SlidingPuzzle
 from repro.search.memo import HeuristicMemo
 from repro.search.parallel import ParallelIDAStar
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_construction_warns_deprecated():
+    with pytest.warns(DeprecationWarning, match="BENCH_search.json"):
+        HeuristicMemo(lambda s: 0)
 
 
 class TestHeuristicMemo:

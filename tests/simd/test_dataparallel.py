@@ -6,6 +6,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.core.matching import GPMatcher
 from repro.simd.dataparallel import ParallelVM, gp_match_on_vm
+from repro.util.rng import as_generator
 
 
 class TestContext:
@@ -74,6 +75,7 @@ class TestCollectives:
             assert vm.reduce_max(np.array([5, 6, 7]), identity=-1) == -1
 
     def test_collective_counters(self):
+        """Full-width on purpose: the counters must tick with no mask open."""
         vm = ParallelVM(4)
         vm.scan_add(vm.pvar(1))
         vm.reduce_add(vm.pvar(1))
@@ -111,7 +113,7 @@ class TestGPMatchEquivalence:
     )
     @settings(max_examples=80, deadline=None)
     def test_matches_gpmatcher(self, n, seed, use_pointer):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         busy = rng.random(n) < 0.5
         idle = ~busy & (rng.random(n) < 0.7)
         pointer = int(rng.integers(0, n)) if use_pointer else None

@@ -1,3 +1,4 @@
+# repro-lint: disable-file=R004 -- unit tests of the raw reduce kernel itself; no VM in the loop
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -1,3 +1,4 @@
+# repro-lint: disable-file=R004 -- unit tests of the raw router kernels themselves; no VM in the loop
 import math
 
 import numpy as np
@@ -6,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simd.router import RouteResult, ecube_path, route_permutation
+from repro.util.rng import as_generator
 
 
 class TestEcubePath:
@@ -66,7 +68,7 @@ class TestRoutePermutation:
     @settings(max_examples=25, deadline=None)
     def test_random_permutation_bounds(self, dims, seed):
         n = 1 << dims
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         dest = rng.permutation(n)
         r = route_permutation(dest)
         moved = int((dest != np.arange(n)).sum())
@@ -90,7 +92,7 @@ class TestRoutePermutation:
             [int(format(i, f"0{dims}b")[::-1], 2) for i in range(n)]
         )
         bad = route_permutation(rev)
-        rng = np.random.default_rng(0)
+        rng = as_generator(0)
         random_steps = [
             route_permutation(rng.permutation(n)).steps for _ in range(5)
         ]
@@ -98,7 +100,7 @@ class TestRoutePermutation:
         assert bad.max_link_load > 1
 
     def test_total_hops_is_hamming_sum(self):
-        rng = np.random.default_rng(3)
+        rng = as_generator(3)
         dest = rng.permutation(16)
         r = route_permutation(dest)
         expected = sum(

@@ -5,6 +5,7 @@ from hypothesis import strategies as st
 
 from repro.core.splitting import HalfSplitter
 from repro.workmodel.divisible import DivisibleWorkload
+from repro.util.rng import as_generator
 
 
 class TestConstruction:
@@ -82,7 +83,7 @@ class TestTransfer:
     @given(st.integers(10, 5000), st.integers(2, 32), st.integers(0, 99))
     @settings(max_examples=40, deadline=None)
     def test_conservation_under_random_schedule(self, work, n_pes, seed):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         wl = DivisibleWorkload(work, n_pes, rng=seed)
         guard = 0
         while not wl.done():
