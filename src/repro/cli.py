@@ -136,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid cells (default: serial)",
     )
     grid.add_argument(
+        # Mirrors runner.GRID_EXECUTORS; kept literal so building the
+        # parser stays import-light (locked by a CLI test).
+        "--executor", default="auto",
+        choices=["auto", "serial", "process", "batched"],
+        help="grid execution strategy: batched packs all cells into one "
+        "mega-arena; process is the per-cell pool; auto picks batched "
+        "when every cell supports it (default: auto)",
+    )
+    grid.add_argument(
         "--stats", default=None, metavar="PATH",
         help="write a metrics-registry snapshot here (view with 'repro stats')",
     )
@@ -176,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.10,
         help="allowed fractional regression for --compare (default: 0.10)",
+    )
+    bench.add_argument(
+        "--ratios-only", action="store_true",
+        help="--compare only the host-independent speedup* ratios — use "
+        "when OLD and NEW were produced on different machines (CI gates "
+        "a fresh smoke report against the committed baseline this way)",
     )
 
     stats = sub.add_parser(
@@ -494,7 +509,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
     records = run_grid(
         args.schemes, args.works, args.pes, base_seed=args.seed,
-        n_jobs=args.jobs, registry=registry,
+        n_jobs=args.jobs, registry=registry, executor=args.executor,
     )
     path = save_records(records, args.out)
     print(f"ran {len(records)} cells; saved to {path}")
@@ -524,7 +539,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"error: cannot read bench report: {exc}", file=sys.stderr)
             return 2
         try:
-            result = compare_bench(old, new, tolerance=args.tolerance)
+            result = compare_bench(
+                old, new, tolerance=args.tolerance, ratios_only=args.ratios_only
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

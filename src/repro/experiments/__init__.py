@@ -12,6 +12,7 @@ same rows/series the paper reports; the benchmark suite writes them under
 """
 
 from repro.experiments.report import TableResult, SeriesResult
+from repro.experiments.batched import CellPlan, run_batched_cells
 from repro.experiments.runner import (
     Scale,
     PAPER_SCALE,
@@ -19,7 +20,9 @@ from repro.experiments.runner import (
     TINY_SCALE,
     run_divisible,
     run_grid,
+    plan_grid,
     GridRecord,
+    GRID_EXECUTORS,
 )
 from repro.experiments.store import save_records, load_records, to_triples
 from repro.experiments import tables, figures
@@ -36,7 +39,11 @@ __all__ = [
     "TINY_SCALE",
     "run_divisible",
     "run_grid",
+    "plan_grid",
     "GridRecord",
+    "GRID_EXECUTORS",
+    "CellPlan",
+    "run_batched_cells",
     "tables",
     "figures",
 ]

@@ -19,6 +19,7 @@ from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
 from repro.core.splitting import WorkSplitter
 from repro.errors import ConfigError, GridCellError
+from repro.experiments.batched import CellPlan, is_batchable, run_batched_cells
 from repro.faults import CheckpointConfig, FaultPlan, GridChaos
 from repro.obs import Observability
 from repro.obs.registry import MetricsRegistry, record_run
@@ -34,11 +35,19 @@ __all__ = [
     "TINY_SCALE",
     "GridRecord",
     "GridFailure",
+    "GRID_EXECUTORS",
     "cell_seed",
+    "plan_grid",
     "run_divisible",
     "run_grid",
     "default_init_threshold",
 ]
+
+#: Accepted ``run_grid(executor=...)`` values.  ``"auto"`` picks the
+#: batched executor whenever every cell supports it and no per-cell
+#: hardening (chaos / timeout) was requested, falling back to the
+#: process pool (``n_jobs > 1``) or the serial loop otherwise.
+GRID_EXECUTORS = ("auto", "serial", "process", "batched")
 
 
 @dataclass(frozen=True)
@@ -234,6 +243,98 @@ def _run_grid_cell(
             signal.signal(signal.SIGALRM, previous)
 
 
+def plan_grid(
+    schemes: list[Scheme | str],
+    works: list[int],
+    pes: list[int],
+    *,
+    base_seed: int = 0,
+    init_threshold: float | None | str = "auto",
+) -> list[CellPlan]:
+    """The planning pass: enumerate grid cells as executable CellPlans.
+
+    Cells come back in scheme-major order with their deterministic
+    :func:`cell_seed` and the init threshold already resolved (the
+    ``"auto"`` convention applied per scheme), so every executor —
+    serial, process-pooled, batched, sharded — starts from the same
+    plan and cannot disagree about seeds or thresholds.
+    """
+    grid_schemes = [make_scheme(s) if isinstance(s, str) else s for s in schemes]
+    plans: list[CellPlan] = []
+    index = 0
+    for scheme in grid_schemes:
+        threshold = (
+            default_init_threshold(scheme)
+            if init_threshold == "auto"
+            else init_threshold
+        )
+        for n_pes in pes:
+            for total_work in works:
+                plans.append(
+                    CellPlan(
+                        index=index,
+                        scheme=scheme,
+                        n_pes=n_pes,
+                        total_work=total_work,
+                        seed=cell_seed(base_seed, index),
+                        init_threshold=threshold,
+                    )
+                )
+                index += 1
+    return plans
+
+
+def _run_grid_batch(payload: tuple) -> list[tuple[int, RunMetrics]]:
+    """One shard of planned cells, picklable for pool workers.
+
+    Unlike the per-cell worker above, a shard carries *many* cells and
+    rebuilds its schemes (spec strings) and MegaArena once — the spawn
+    and rebuild cost is amortized over the whole batch.
+    """
+    shard, cost_model, splitter = payload
+    plans = [
+        CellPlan(
+            index=index,
+            scheme=make_scheme(spec),
+            n_pes=n_pes,
+            total_work=total_work,
+            seed=seed,
+            init_threshold=threshold,
+        )
+        for (index, spec, total_work, n_pes, seed, threshold) in shard
+    ]
+    results = run_batched_cells(plans, cost_model=cost_model, splitter=splitter)
+    return sorted(results.items())
+
+
+def _resolve_executor(
+    executor: str,
+    plans: list[CellPlan],
+    n_jobs: int | None,
+    timeout: float | None,
+    chaos: GridChaos | None,
+) -> str:
+    """Pick the concrete execution path for this grid."""
+    if executor not in GRID_EXECUTORS:
+        raise ConfigError(
+            f"executor must be one of {GRID_EXECUTORS}, got {executor!r}"
+        )
+    if executor == "batched" and (timeout is not None or chaos is not None):
+        raise ConfigError(
+            "executor='batched' does not support per-cell timeout/chaos "
+            "hardening; use executor='process'"
+        )
+    if executor == "process" and not (n_jobs is not None and n_jobs > 1):
+        raise ConfigError("executor='process' requires n_jobs > 1")
+    if executor != "auto":
+        return executor
+    if timeout is None and chaos is None and all(
+        is_batchable(p.scheme) for p in plans
+    ):
+        return "batched"
+    return "process" if n_jobs is not None and n_jobs > 1 else "serial"
+
+
 def run_grid(
     schemes: list[Scheme | str],
     works: list[int],
@@ -248,6 +349,7 @@ def run_grid(
     max_retries: int = 2,
     chaos: GridChaos | None = None,
     registry: MetricsRegistry | None = None,
+    executor: str = "auto",
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
@@ -256,13 +358,14 @@ def run_grid(
     there), so cells are reproducible independently of grid shape and of
     how the grid is executed.
 
-    ``n_jobs`` runs cells in worker processes (``concurrent.futures``);
-    ``None`` or ``1`` keeps the serial path.  Results are returned in the
-    same scheme-major order with the same per-cell seeds either way, so a
-    parallel grid is record-for-record identical to a serial one.
-    Parallel execution requires every scheme's name to round-trip through
-    ``make_scheme`` (all Table 1 schemes do; baseline schemes with
-    opaque factories must use the serial path).
+    ``n_jobs`` enables worker processes (``concurrent.futures``): whole
+    cells on the ``"process"`` path, contiguous *shards* of cells on the
+    ``"batched"`` path.  Results are returned in the same scheme-major
+    order with the same per-cell seeds on every path, so all executors
+    are record-for-record identical.  Multi-process execution requires
+    every scheme's name to round-trip through ``make_scheme`` (all
+    Table 1 schemes do; baseline schemes with opaque factories must use
+    the serial path).
 
     The parallel path is hardened against worker failure:
 
@@ -284,23 +387,40 @@ def run_grid(
     ``registry`` folds every cell's metrics into a
     :class:`~repro.obs.registry.MetricsRegistry` (plus ``grid.cells_total``
     and ``grid.retries_total`` counters).  Recording happens in the
-    parent process in cell-index order on both execution paths, so a
-    parallel grid's snapshot is identical to a serial one's.
+    parent process in cell-index order on every execution path, so all
+    executors produce identical snapshots.
+
+    ``executor`` selects the execution strategy (:data:`GRID_EXECUTORS`):
+    ``"batched"`` packs every compatible cell into one
+    :class:`~repro.workmodel.mega.MegaArena` and advances all of them
+    with single full-width kernel calls (record-identical to serial;
+    with ``n_jobs > 1`` processes shard *batches* of cells, amortizing
+    spawn/rebuild); ``"process"`` is the per-cell pool; ``"serial"``
+    forces the one-cell-at-a-time oracle; ``"auto"`` (default) picks
+    batched whenever every cell supports it and no per-cell hardening
+    (``timeout``/``chaos``) was requested.
     """
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
     if timeout is not None and timeout <= 0:
         raise ConfigError(f"timeout must be positive, got {timeout}")
-    grid_schemes = [make_scheme(s) if isinstance(s, str) else s for s in schemes]
-    cells: list[tuple[Scheme, int, int, int]] = []
-    index = 0
-    for scheme in grid_schemes:
-        for n_pes in pes:
-            for total_work in works:
-                cells.append((scheme, n_pes, total_work, cell_seed(base_seed, index)))
-                index += 1
+    plans = plan_grid(
+        schemes, works, pes, base_seed=base_seed, init_threshold=init_threshold
+    )
+    cells = [(p.scheme, p.n_pes, p.total_work, p.seed) for p in plans]
+    resolved = _resolve_executor(executor, plans, n_jobs, timeout, chaos)
 
-    if n_jobs is not None and n_jobs > 1:
+    if resolved == "batched":
+        return _run_grid_batched(
+            plans,
+            cost_model=cost_model,
+            splitter=splitter,
+            n_jobs=n_jobs,
+            max_retries=max_retries,
+            registry=registry,
+        )
+
+    if resolved == "process":
         for scheme, _, _, _ in cells:
             try:
                 make_scheme(scheme.name)
@@ -411,6 +531,153 @@ def run_grid(
         )
         records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
     _fold_grid_metrics(registry, records, retries=0)
+    return records
+
+
+def _shard_plans(plans: list[CellPlan], n_shards: int) -> list[list[CellPlan]]:
+    """Split plans into at most ``n_shards`` contiguous, near-equal chunks."""
+    n_shards = max(1, min(n_shards, len(plans)))
+    size, rem = divmod(len(plans), n_shards)
+    shards: list[list[CellPlan]] = []
+    start = 0
+    for s in range(n_shards):
+        stop = start + size + (1 if s < rem else 0)
+        shards.append(plans[start:stop])
+        start = stop
+    return shards
+
+
+def _run_grid_batched(
+    plans: list[CellPlan],
+    *,
+    cost_model: CostModel | None,
+    splitter: WorkSplitter | None,
+    n_jobs: int | None,
+    max_retries: int,
+    registry: MetricsRegistry | None,
+) -> list[GridRecord]:
+    """Execute planned cells through the mega-arena batched backend.
+
+    Cells whose scheme the batched executor cannot replicate (opaque
+    matcher/trigger factories) fall back to the serial oracle in index
+    order; everything else advances in one :class:`MegaArena`.  With
+    ``n_jobs > 1`` the batchable cells are split into contiguous
+    *shards* — each worker process rebuilds its schemes once and packs
+    its whole shard into one arena, so spawn/rebuild cost is paid per
+    shard, not per cell.  A failed shard is retried whole with the same
+    seeds (records of a retried shard are identical to an undisturbed
+    one); shards that exhaust ``max_retries`` raise
+    :class:`~repro.errors.GridCellError` listing every cell.
+    """
+    batchable = [p for p in plans if is_batchable(p.scheme)]
+    fallback = [p for p in plans if not is_batchable(p.scheme)]
+    results: dict[int, RunMetrics] = {}
+    retries = 0
+
+    if batchable and n_jobs is not None and n_jobs > 1 and len(batchable) > 1:
+        for plan in batchable:
+            try:
+                make_scheme(plan.scheme.name)
+            except ValueError:
+                raise ConfigError(
+                    f"scheme {plan.scheme.name!r} cannot be rebuilt from its "
+                    "spec; sharded batched execution supports spec-named "
+                    "schemes only — use the serial path"
+                ) from None
+        shards = _shard_plans(batchable, n_jobs)
+
+        def payload_for(shard: list[CellPlan]) -> tuple:
+            rows = [
+                (
+                    p.index,
+                    p.scheme.name,
+                    p.total_work,
+                    p.n_pes,
+                    p.seed,
+                    p.init_threshold,
+                )
+                for p in shard
+            ]
+            return (rows, cost_model, splitter)
+
+        attempts = [0] * len(shards)
+        pending = list(range(len(shards)))
+        failures: list[GridFailure] = []
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        try:
+            while pending:
+                in_flight = {
+                    pool.submit(_run_grid_batch, payload_for(shards[s])): s
+                    for s in pending
+                }
+                pending = []
+                pool_broken = False
+                for fut in as_completed(in_flight):
+                    s = in_flight[fut]
+                    try:
+                        results.update(fut.result())
+                        continue
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        error = f"worker pool broke while shard {s} was in flight"
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    attempts[s] += 1
+                    if attempts[s] > max_retries:
+                        failures.extend(
+                            GridFailure(
+                                p.index,
+                                p.scheme.name,
+                                p.n_pes,
+                                p.total_work,
+                                attempts[s],
+                                error,
+                            )
+                            for p in shards[s]
+                        )
+                    else:
+                        pending.append(s)
+                if pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=n_jobs)
+                pending.sort()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        retries = sum(attempts)
+
+        if failures:
+            failures.sort(key=lambda f: f.index)
+            lines = [
+                f"run_grid: {len(failures)} of {len(plans)} cells failed "
+                f"after {max_retries} retries:"
+            ]
+            lines += [
+                f"  cell {f.index}: scheme={f.scheme!r} W={f.total_work} "
+                f"P={f.n_pes} attempts={f.attempts} last_error={f.error}"
+                for f in failures
+            ]
+            raise GridCellError("\n".join(lines), failures=tuple(failures))
+    elif batchable:
+        results.update(
+            run_batched_cells(batchable, cost_model=cost_model, splitter=splitter)
+        )
+
+    for plan in fallback:
+        results[plan.index] = run_divisible(
+            plan.scheme,
+            plan.total_work,
+            plan.n_pes,
+            cost_model=cost_model,
+            splitter=splitter,
+            seed=plan.seed,
+            init_threshold=plan.init_threshold,
+        )
+
+    records = [
+        GridRecord(p.scheme.name, p.n_pes, p.total_work, results[p.index])
+        for p in plans
+    ]
+    _fold_grid_metrics(registry, records, retries=retries)
     return records
 
 

@@ -36,6 +36,7 @@ KERNEL_MODULES: frozenset[str] = frozenset(
         "repro/simd/reduce.py",
         "repro/simd/router.py",
         "repro/workmodel/arena.py",
+        "repro/workmodel/mega.py",
         "repro/search/arena.py",
     }
 )

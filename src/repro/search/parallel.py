@@ -141,6 +141,9 @@ class SearchWorkload:
         self.goal_depths: list[int] = []
         self.next_bound: int | None = None
         self._cached_counts: np.ndarray | None = None
+        # Reusable 0..k iota for the arena kernel's row indexing — grown
+        # on demand so steady-state cycles allocate no index arrays.
+        self._iota = np.arange(max(self.n_pes, 4), dtype=np.int64)
 
         self._stacks: list[DFSStack] | None = None
         self._arena: SearchArena | None = None
@@ -300,16 +303,26 @@ class SearchWorkload:
         if goal.any():
             self.solutions += int(goal.sum())
             self.goal_depths.extend(int(d) for d in meta[goal, G_COL])
-        live = ~goal
-        if not live.any():
-            arena.reset_empty_windows()
-            return n
-        pes_l = pes[live]
-        tiles_l = tiles[live]
-        g_l = meta[live, G_COL]
-        h_l = meta[live, H_COL]
-        blank_l = meta[live, BLANK_COL]
-        prev_l = meta[live, PREV_COL]
+            live = ~goal
+            if not live.any():
+                arena.reset_empty_windows()
+                return n
+            pes_l = pes[live]
+            tiles_l = tiles[live]
+            g_l = meta[live, G_COL]
+            h_l = meta[live, H_COL]
+            blank_l = meta[live, BLANK_COL]
+            prev_l = meta[live, PREV_COL]
+        else:
+            # No goal popped this cycle (the overwhelmingly common case):
+            # every row is live, so column *views* replace six fancy-index
+            # copies — same values, zero copies, bit-identical downstream.
+            pes_l = pes
+            tiles_l = tiles
+            g_l = meta[:, G_COL]
+            h_l = meta[:, H_COL]
+            blank_l = meta[:, BLANK_COL]
+            prev_l = meta[:, PREV_COL]
         m = len(pes_l)
 
         # Candidate moves: columns of the move table are the problem's
@@ -318,7 +331,9 @@ class SearchWorkload:
         dests = self._move_table[blank_l]  # (m, 4)
         valid = (dests >= 0) & (dests != prev_l[:, None])
         safe = np.where(valid, dests, 0)
-        rows = np.arange(m)
+        if m > len(self._iota):
+            self._iota = np.arange(m, dtype=np.int64)
+        rows = self._iota[:m]
         moved = tiles_l[rows[:, None], safe]  # (m, 4) moved-tile values
         # Incremental Manhattan: tile `moved` slides from `safe` into the
         # blank, so h changes by D[moved, blank] - D[moved, safe].
@@ -341,7 +356,9 @@ class SearchWorkload:
         if total:
             ii, jj = np.nonzero(keep_r)  # row-major: per-parent reversed order
             dest_sel = dests[:, ::-1][ii, jj]
-            flat = np.arange(total)
+            if total > len(self._iota):
+                self._iota = np.arange(total, dtype=np.int64)
+            flat = self._iota[:total]
             flat_tiles = tiles_l[ii]  # fancy indexing copies
             flat_tiles[flat, blank_l[ii]] = flat_tiles[flat, dest_sel]
             flat_tiles[flat, dest_sel] = 0

@@ -10,11 +10,15 @@
   (all stacks in one flat array, vectorized kernels).
 - :mod:`repro.workmodel.arena` — the flat-arena storage and the batched
   stick-breaking sampler (``StackArena``, ``draw_children_batch``).
+- :mod:`repro.workmodel.mega` — many independent grid cells packed onto
+  one flat PE axis (``MegaArena``) so full-width kernels advance every
+  cell's lock-step cycle in a single call.
 - :mod:`repro.workmodel.profiles` — scripted active-processor decay shapes
   (Figure 5) used to exhibit the D_P pathology analytically.
 """
 
 from repro.workmodel.divisible import DivisibleWorkload
+from repro.workmodel.mega import MegaArena
 from repro.workmodel.stackmodel import StackWorkload
 from repro.workmodel.profiles import (
     gradual_profile,
@@ -24,6 +28,7 @@ from repro.workmodel.profiles import (
 
 __all__ = [
     "DivisibleWorkload",
+    "MegaArena",
     "StackWorkload",
     "gradual_profile",
     "cliff_profile",

@@ -36,11 +36,16 @@ class TestFullRunBench:
 
 
 class TestGridBench:
-    def test_parallel_matches_serial(self):
+    def test_all_executors_match_serial(self):
         report = bench_grid(n_jobs=2, works=(1_000, 2_000), pes=(16,))
         assert report["cells"] == 4
         assert report["records_identical"] is True
-        assert report["serial_s"] > 0 and report["parallel_s"] > 0
+        assert report["serial_s"] > 0
+        assert report["batched_s"] > 0
+        assert report["process_s"] > 0
+        assert report["speedup"] == pytest.approx(
+            report["serial_s"] / report["batched_s"]
+        )
 
 
 class TestSearchKernelBench:
@@ -197,3 +202,52 @@ class TestCompareBench:
     def test_rejects_negative_tolerance(self):
         with pytest.raises(ValueError, match="tolerance"):
             compare_bench(_report(1.0, 1.0), _report(1.0, 1.0), tolerance=-0.1)
+
+    def test_non_metric_fields_ignored(self):
+        """generated_unix / host / schema never compare — cross-machine
+        diffs of committed BENCH_*.json files must be noise-free."""
+        old = _report(100_000.0, 1.0)
+        new = _report(100_000.0, 1.0)
+        old["generated_unix"], new["generated_unix"] = 1.0, 9.9e9
+        old["host"] = {"cpu_count": 1, "platform": "a", "python": "3.11"}
+        new["host"] = {"cpu_count": 64, "platform": "b", "python": "3.12"}
+        old["schema"], new["schema"] = 1, 2
+        result = compare_bench(old, new, tolerance=0.0)
+        assert result["ok"] is True
+        assert result["dropped"] == [] and result["added"] == []
+        sections = {r["section"] for r in result["rows"]}
+        assert not any(
+            s.startswith(("generated_unix", "host", "schema")) for s in sections
+        )
+
+    def test_ratios_only_ignores_absolute_timings(self):
+        """The CI gate mode: absolute wall-clock leaves (host-dependent)
+        drop out; only speedup* ratios are scored."""
+        old = _report(100_000.0, 1.0)
+        new = _report(10_000.0, 50.0)  # 10x slower absolute numbers
+        old["search"]["expansion_kernel"]["speedup_arena_vs_list"] = 5.0
+        new["search"]["expansion_kernel"]["speedup_arena_vs_list"] = 4.9
+        result = compare_bench(old, new, tolerance=0.5, ratios_only=True)
+        assert result["ok"] is True
+        assert [r["section"] for r in result["rows"]] == [
+            "search.expansion_kernel.speedup_arena_vs_list"
+        ]
+
+    def test_ratios_only_still_catches_ratio_collapse(self):
+        old = _report(100_000.0, 1.0)
+        new = _report(100_000.0, 1.0)
+        old["search"]["expansion_kernel"]["speedup_arena_vs_list"] = 5.0
+        new["search"]["expansion_kernel"]["speedup_arena_vs_list"] = 1.1
+        result = compare_bench(old, new, tolerance=0.5, ratios_only=True)
+        assert result["ok"] is False
+
+    def test_non_metric_prune_shields_colliding_names(self):
+        """Even a metric-named leaf nested under a non-metric subtree
+        (e.g. host.seconds) stays out of the comparison."""
+        old = _report(100_000.0, 1.0)
+        new = _report(100_000.0, 1.0)
+        old["host"] = {"seconds": 1.0}
+        new["host"] = {"seconds": 50.0}
+        result = compare_bench(old, new, tolerance=0.0)
+        assert result["ok"] is True
+        assert all("host" not in r["section"] for r in result["rows"])

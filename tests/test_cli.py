@@ -101,6 +101,33 @@ class TestGridIsoeff:
         assert main(["grid", str(parallel), *args, "--jobs", "2"]) == 0
         assert serial.read_text() == parallel.read_text()
 
+    def test_grid_executor_flag(self, tmp_path, capsys):
+        """Every --executor choice writes identical records, and the flag
+        choices mirror runner.GRID_EXECUTORS (kept literal in the parser
+        so building it stays import-light)."""
+        from repro.experiments.runner import GRID_EXECUTORS
+
+        args = ["--schemes", "GP-S0.75", "--works", "1000", "--pes", "8"]
+        paths = {}
+        for executor in ("serial", "batched", "auto"):
+            paths[executor] = tmp_path / f"{executor}.json"
+            assert main(
+                ["grid", str(paths[executor]), *args, "--executor", executor]
+            ) == 0
+        texts = {p.read_text() for p in paths.values()}
+        assert len(texts) == 1
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        grid_sub = next(
+            a for a in parser._subparsers._group_actions[0].choices.values()
+            if a.prog.endswith(" grid")
+        )
+        flag = next(
+            a for a in grid_sub._actions if "--executor" in a.option_strings
+        )
+        assert tuple(flag.choices) == GRID_EXECUTORS
+
 
 class TestBench:
     def test_smoke_writes_reports(self, tmp_path, capsys):
