@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-plan spec (puzzle/queens/coloring only), "
         "e.g. 'kill=1,drop=0.02,seed=3'",
     )
+    solve.add_argument(
+        # Mirrors kernels.dispatch.BACKENDS; kept literal so building the
+        # parser stays import-light (locked by a CLI test).
+        "--kernel-backend", default="numpy",
+        choices=["auto", "numpy", "fused", "jit"],
+        help="expand-cycle kernel tier (puzzle only — a non-numpy tier "
+        "switches the search to the arena backend, which needs the "
+        "puzzle's vectorizable state).  'jit' needs numba and degrades "
+        "to 'fused' without it (default: numpy)",
+    )
 
     xo = sub.add_parser("xo", help="Equation 18 optimal static trigger")
     xo.add_argument("--work", type=float, required=True)
@@ -147,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument(
         "--stats", default=None, metavar="PATH",
         help="write a metrics-registry snapshot here (view with 'repro stats')",
+    )
+    grid.add_argument(
+        "--kernel-backend", default="numpy",
+        choices=["auto", "numpy", "fused", "jit"],
+        help="kernel tier for the batched executor's mega-arena "
+        "(serial/process paths ignore it; every tier is "
+        "record-identical; default: numpy)",
     )
 
     bench = sub.add_parser(
@@ -217,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--backend", default="arena", choices=["list", "arena"],
         help="stack-model storage backend to profile (default: arena)",
+    )
+    trace.add_argument(
+        "--kernel-backend", default="numpy",
+        choices=["auto", "numpy", "fused", "jit"],
+        help="expand-cycle kernel tier for the arena backend "
+        "(default: numpy; the list backend is the oracle and only "
+        "accepts numpy)",
     )
 
     iso = sub.add_parser(
@@ -369,6 +393,7 @@ def _print_fault_report(metrics: object) -> None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.kernels.dispatch import jit_note, resolve_backend
     from repro.search.branch_and_bound import ParallelDFBB
     from repro.search.parallel import ParallelIDAStar
 
@@ -384,6 +409,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan
 
         faults = FaultPlan.from_spec(args.faults, args.pes)
+    kernel_backend = resolve_backend(args.kernel_backend)
+    if kernel_backend != "numpy" and args.problem != "puzzle":
+        print(
+            "repro solve: error: a non-numpy --kernel-backend needs the "
+            "arena-backed search, which only the puzzle problem supports",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kernel_backend == "jit" and jit_note() is not None:
+        print(f"note: {jit_note()}")
+    # Non-numpy tiers run on the arena storage; numpy keeps the
+    # historical list-backend default.
+    search_kwargs = dict(
+        kernel_backend=kernel_backend,
+        backend="arena" if kernel_backend != "numpy" else "list",
+    )
     init = 0.85 if args.scheme.endswith(("DK", "DP")) else None
     if args.problem == "puzzle":
         from repro.problems.fifteen_puzzle import scrambled_fifteen_puzzle
@@ -391,7 +432,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         puzzle = scrambled_fifteen_puzzle(args.size or 25, rng=args.seed)
         print("instance:", puzzle.tiles)
         result = ParallelIDAStar(
-            puzzle, args.pes, args.scheme, init_threshold=init, faults=faults
+            puzzle, args.pes, args.scheme, init_threshold=init, faults=faults,
+            **search_kwargs,
         ).run()
         print(
             f"optimal cost={result.solution_cost}  solutions={result.solutions}\n"
@@ -404,7 +446,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
         problem = NQueensProblem(args.size or 8)
         result = ParallelIDAStar(
-            problem, args.pes, args.scheme, init_threshold=init, faults=faults
+            problem, args.pes, args.scheme, init_threshold=init, faults=faults,
+            **search_kwargs,
         ).run()
         print(
             f"{problem.n}-queens: solutions={result.solutions}  "
@@ -439,7 +482,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
         problem = GraphColoringProblem.random(args.size or 10, 3, rng=args.seed)
         result = ParallelIDAStar(
-            problem, args.pes, args.scheme, init_threshold=init, faults=faults
+            problem, args.pes, args.scheme, init_threshold=init, faults=faults,
+            **search_kwargs,
         ).run()
         print(
             f"3-coloring, {problem.n_vertices} vertices: "
@@ -510,6 +554,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     records = run_grid(
         args.schemes, args.works, args.pes, base_seed=args.seed,
         n_jobs=args.jobs, registry=registry, executor=args.executor,
+        kernel_backend=args.kernel_backend,
     )
     path = save_records(records, args.out)
     print(f"ran {len(records)} cells; saved to {path}")
@@ -596,12 +641,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.scheduler import Scheduler
+    from repro.kernels.dispatch import resolve_backend
     from repro.obs import Profiler, profiled
     from repro.simd.machine import SimdMachine
     from repro.workmodel.stackmodel import StackWorkload
 
+    if args.backend == "list" and resolve_backend(args.kernel_backend) != "numpy":
+        print(
+            "repro trace: error: --kernel-backend needs --backend arena "
+            "(the list backend is the numpy-only oracle)",
+            file=sys.stderr,
+        )
+        return 2
     workload = StackWorkload(
-        args.work, args.pes, rng=args.seed, backend=args.backend
+        args.work, args.pes, rng=args.seed, backend=args.backend,
+        kernel_backend=args.kernel_backend,
     )
     machine = SimdMachine(args.pes)
     init = 0.85 if args.scheme.endswith(("DK", "DP", "D_K", "D_P")) else None

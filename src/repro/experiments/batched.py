@@ -47,6 +47,8 @@ from repro.core.metrics import RunMetrics
 from repro.core.splitting import AlphaSplitter, WorkSplitter
 from repro.core.triggering import DKTrigger, DPTrigger, StaticTrigger
 from repro.errors import ConfigError
+from repro.kernels.dispatch import resolve_backend
+from repro.kernels.workspace import KernelWorkspace
 from repro.obs.profile import span
 from repro.simd.cost import CostModel
 from repro.simd.machine import TimeLedger
@@ -140,6 +142,11 @@ class MegaGridExecutor:
         conservation across every cell, non-negative counts, and each
         finished cell's ledger identity.  Cheap (vectorized over cells)
         but on by default only in tests.
+    kernel_backend:
+        Tier for the mega kernels and every cell matcher's rendezvous —
+        ``"numpy"`` (reference, default), ``"fused"``, ``"jit"`` or
+        ``"auto"``.  One :class:`~repro.kernels.KernelWorkspace` is
+        shared by the arena and all matchers.
     """
 
     def __init__(
@@ -149,17 +156,27 @@ class MegaGridExecutor:
         cost_model: CostModel | None = None,
         splitter: WorkSplitter | None = None,
         sanitize: bool = False,
+        kernel_backend: str = "numpy",
     ) -> None:
         if not cells:
             raise ConfigError("MegaGridExecutor needs at least one cell")
         self.cost = cost_model if cost_model is not None else CostModel()
         self.splitter = splitter if splitter is not None else AlphaSplitter()
         self.sanitize = sanitize
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self._kernel_ws = (
+            KernelWorkspace() if self.kernel_backend != "numpy" else None
+        )
         n = len(cells)
 
         self.pes = np.array([c.n_pes for c in cells], dtype=np.int64)
         self.totals = np.array([c.total_work for c in cells], dtype=np.int64)
-        self.arena = MegaArena(self.pes.tolist(), roots=self.totals.tolist())
+        self.arena = MegaArena(
+            self.pes.tolist(),
+            roots=self.totals.tolist(),
+            kernel_backend=self.kernel_backend,
+            workspace=self._kernel_ws,
+        )
 
         # Per-cell Python state and vectorized trigger parameters.  The
         # trigger objects built by the scheme are only probed for their
@@ -181,6 +198,8 @@ class MegaGridExecutor:
                     f"{type(matcher).__name__}/{type(trigger).__name__}, which "
                     "the batched executor does not support; run it serially"
                 )
+            if self.kernel_backend != "numpy":
+                matcher.configure_kernels(self.kernel_backend, self._kernel_ws)
             self.runs.append(_CellRun(plan, matcher, plan.scheme.multiple_transfers))
             if isinstance(trigger, StaticTrigger):
                 self.kind[i] = _KIND_STATIC
@@ -463,6 +482,7 @@ def run_batched_cells(
     cost_model: CostModel | None = None,
     splitter: WorkSplitter | None = None,
     sanitize: bool = False,
+    kernel_backend: str = "numpy",
 ) -> dict[int, RunMetrics]:
     """Execute planned cells on one :class:`MegaGridExecutor`.
 
@@ -472,6 +492,10 @@ def run_batched_cells(
         return {}
     with span("mega.plan", cat="grid"):
         executor = MegaGridExecutor(
-            cells, cost_model=cost_model, splitter=splitter, sanitize=sanitize
+            cells,
+            cost_model=cost_model,
+            splitter=splitter,
+            sanitize=sanitize,
+            kernel_backend=kernel_backend,
         )
     return executor.run()

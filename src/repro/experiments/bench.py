@@ -12,6 +12,11 @@ numbers:
   storage win).
 - **full run** — one complete scheduler run per backend, plus a
   bit-identity check between the list (batched) and arena runs.
+- **kernel tiers** — the same warmed ``expand_cycle`` measured across
+  the :mod:`repro.kernels` dispatch tiers on the arena backend
+  (``numpy`` reference vs ``fused`` zero-allocation vs ``jit`` when
+  numba is importable), with an end-state identity check across tiers
+  and the ``jit_note`` explaining the fallback on numba-less hosts.
 - **grid** — a small static-trigger isoefficiency grid (Figure 4's
   shape) executed serially and with ``run_grid(n_jobs=...)``, plus a
   record-identity check between the two.
@@ -68,6 +73,7 @@ __all__ = [
     "DEFAULT_REPEATS",
     "bench_expand_kernel",
     "bench_full_run",
+    "bench_kernel_tiers",
     "bench_grid",
     "bench_search_kernel",
     "bench_search_full",
@@ -109,14 +115,28 @@ def _host_info() -> dict:
 
 
 def _warmed_workload(
-    backend: str, sampler: str, *, work: int, n_pes: int, seed: int, warm_cycles: int
+    backend: str,
+    sampler: str,
+    *,
+    work: int,
+    n_pes: int,
+    seed: int,
+    warm_cycles: int,
+    kernel_backend: str = "numpy",
 ) -> StackWorkload:
     """A stack workload after ``warm_cycles`` scheduled cycles of spread.
 
     The warmup is deterministic and identical across variants (same seed,
     same scheme), so every backend is timed from the same tree state.
     """
-    workload = StackWorkload(work, n_pes, rng=seed, backend=backend, sampler=sampler)
+    workload = StackWorkload(
+        work,
+        n_pes,
+        rng=seed,
+        backend=backend,
+        sampler=sampler,
+        kernel_backend=kernel_backend,
+    )
     machine = SimdMachine(n_pes, CostModel())
     Scheduler(workload, machine, "GP-S0.75", max_cycles=warm_cycles).run()
     return workload
@@ -226,6 +246,87 @@ def bench_full_run(
     }
 
 
+def bench_kernel_tiers(
+    *,
+    n_pes: int = 4096,
+    work_per_pe: int = 400,
+    warm_cycles: int = 64,
+    time_cycles: int = 60,
+    seed: int = 0,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    """Arena ``expand_cycle`` throughput per :mod:`repro.kernels` tier.
+
+    Times the identically warmed arena workload under each dispatchable
+    tier — ``numpy`` (the reference), ``fused`` (the zero-allocation
+    workspace path) and ``jit`` when numba is importable — and asserts
+    the end states (expansion count, per-PE stack windows, RNG position)
+    are bit-identical across tiers: the speedup only means something if
+    every tier did exactly the same work.  Best-of-``repeats`` per tier
+    (repeat 0 untimed warmup).
+    """
+    from repro.kernels.dispatch import HAVE_NUMBA, available_backends, jit_note
+
+    _check_repeats(repeats)
+    work = n_pes * work_per_pe
+    tiers: dict[str, dict] = {}
+    end_states: dict[str, tuple] = {}
+    for tier in available_backends():
+        best: dict | None = None
+        for rep in range(repeats + 1):
+            workload = _warmed_workload(
+                "arena",
+                "batched",
+                work=work,
+                n_pes=n_pes,
+                seed=seed,
+                warm_cycles=warm_cycles,
+                kernel_backend=tier,
+            )
+            expanded_before = workload.total_expanded()
+            cycles = 0
+            t0 = time.perf_counter()
+            while cycles < time_cycles and not workload.done():
+                workload.expand_cycle()
+                cycles += 1
+            dt = time.perf_counter() - t0
+            row = {
+                "cycles": cycles,
+                "nodes_per_s": (workload.total_expanded() - expanded_before) / dt,
+                "ms_per_cycle": dt / max(cycles, 1) * 1e3,
+            }
+            if rep and (best is None or row["ms_per_cycle"] < best["ms_per_cycle"]):
+                best = row
+            end_states[tier] = (
+                workload.total_expanded(),
+                workload.stacks,
+                workload.rng.bit_generator.state,
+            )
+        assert best is not None
+        tiers[tier] = best
+    reference = end_states["numpy"]
+    records_identical = all(state == reference for state in end_states.values())
+    if not records_identical:
+        raise RuntimeError(
+            "kernel tiers diverged during the tier bench; the timing "
+            "numbers would compare different trees"
+        )
+    return {
+        "n_pes": n_pes,
+        "total_work": work,
+        "warm_cycles": warm_cycles,
+        "time_cycles": time_cycles,
+        "repeats": repeats,
+        "jit_available": HAVE_NUMBA,
+        "jit_note": jit_note(),
+        "tiers": tiers,
+        "speedup_fused_vs_numpy": (
+            tiers["fused"]["nodes_per_s"] / tiers["numpy"]["nodes_per_s"]
+        ),
+        "records_identical": records_identical,
+    }
+
+
 def bench_grid(
     *,
     n_jobs: int = 4,
@@ -291,18 +392,28 @@ def bench_grid(
 
 # -- real-search benches (the BENCH_search.json section) -------------------
 
-#: (name, backend) variants timed by the search kernel bench.  The old
-#: ``list-memo`` variant was retired after it benched *slower* than the
-#: plain list backend (whole-state hashing beat recomputing h) — the
-#: regression now lives on as lint rule R102's memo check.
+#: (name, backend, kernel_backend) variants timed by the search kernel
+#: bench.  The old ``list-memo`` variant was retired after it benched
+#: *slower* than the plain list backend (whole-state hashing beat
+#: recomputing h) — the regression now lives on as lint rule R102's memo
+#: check.  ``arena-fused`` runs the same arena through the
+#: :mod:`repro.kernels` fused tier (workspace scratch, no per-cycle
+#: allocation).
 _SEARCH_VARIANTS = (
-    ("list", "list"),
-    ("arena", "arena"),
+    ("list", "list", "numpy"),
+    ("arena", "arena", "numpy"),
+    ("arena-fused", "arena", "fused"),
 )
 
 
 def _warmed_search_workload(
-    problem, bound: int, backend: str, *, n_pes: int, warm_cycles: int
+    problem,
+    bound: int,
+    backend: str,
+    *,
+    n_pes: int,
+    warm_cycles: int,
+    kernel_backend: str = "numpy",
 ):
     """A ``SearchWorkload`` after ``warm_cycles`` scheduled spread cycles.
 
@@ -312,7 +423,9 @@ def _warmed_search_workload(
     """
     from repro.search.parallel import SearchWorkload
 
-    workload = SearchWorkload(problem, bound, n_pes, backend=backend)
+    workload = SearchWorkload(
+        problem, bound, n_pes, backend=backend, kernel_backend=kernel_backend
+    )
     machine = SimdMachine(n_pes, CostModel())
     Scheduler(
         workload, machine, "GP-S0.75", init_threshold=0.9, max_cycles=warm_cycles
@@ -346,11 +459,16 @@ def bench_search_kernel(
     bound = problem.heuristic(problem.initial_state()) + bound_slack
     backends: dict[str, dict] = {}
     end_states: dict[str, tuple] = {}
-    for name, backend in _SEARCH_VARIANTS:
+    for name, backend, kernel_backend in _SEARCH_VARIANTS:
         best: dict | None = None
         for rep in range(repeats + 1):
             workload = _warmed_search_workload(
-                problem, bound, backend, n_pes=n_pes, warm_cycles=warm_cycles
+                problem,
+                bound,
+                backend,
+                n_pes=n_pes,
+                warm_cycles=warm_cycles,
+                kernel_backend=kernel_backend,
             )
             expanded_before = workload.total_expanded()
             cycles = 0
@@ -394,6 +512,10 @@ def bench_search_kernel(
         "speedup_arena_vs_list": (
             backends["arena"]["nodes_per_s"] / backends["list"]["nodes_per_s"]
         ),
+        "speedup_fused_vs_arena": (
+            backends["arena-fused"]["nodes_per_s"]
+            / backends["arena"]["nodes_per_s"]
+        ),
     }
 
 
@@ -413,16 +535,25 @@ def _profile_expand_spans(problem, n_pes: int) -> dict:
     from repro.search.parallel import ParallelIDAStar
 
     spans: dict[str, dict] = {}
-    for backend in ("list", "arena"):
-        ParallelIDAStar(problem, n_pes, "GP-S0.75", backend=backend).run()
+    for name, backend, kernel_backend in _SEARCH_VARIANTS:
+        def run():
+            return ParallelIDAStar(
+                problem,
+                n_pes,
+                "GP-S0.75",
+                backend=backend,
+                kernel_backend=kernel_backend,
+            ).run()
+
+        run()
         profiler = Profiler()
         activate(profiler)
         try:
-            ParallelIDAStar(problem, n_pes, "GP-S0.75", backend=backend).run()
+            run()
         finally:
             deactivate()
         agg = profiler.totals()[f"expand.search.{backend}"]
-        spans[backend] = {
+        spans[name] = {
             "cycles": agg["count"],
             "seconds": agg["seconds"],
             "us_per_cycle": 1e6 * agg["seconds"] / agg["count"],
@@ -430,8 +561,10 @@ def _profile_expand_spans(problem, n_pes: int) -> dict:
     spans["note"] = (
         "arena expand pays a fixed numpy-dispatch cost per cycle; on "
         "sparse frontiers (few busy PEs) the per-node list oracle is at "
-        "or below that floor — the dense expansion_kernel section shows "
-        "the crossover"
+        "or below that floor.  The fused tier narrows it with a "
+        "per-row loop when <= 3 PEs are busy (and scratch reuse above "
+        "that); the dense expansion_kernel section shows the full "
+        "crossover"
     )
     return spans
 
@@ -581,6 +714,9 @@ def run_bench(
                 work_per_pe=20 if smoke else 100,
                 repeats=repeats,
             ),
+            "fused": bench_kernel_tiers(
+                n_pes=n_pes, seed=seed, repeats=repeats, **kernel_kwargs
+            ),
         },
         "grid": bench_grid(seed=seed, repeats=repeats, **grid_kwargs),
     }
@@ -597,6 +733,7 @@ def render_bench(report: dict) -> str:
     """A terse human summary of one bench report."""
     kernel = report["kernels"]["expand_cycle"]
     full = report["kernels"]["full_run"]
+    fused = report["kernels"]["fused"]
     grid = report["grid"]
     lines = [
         f"expand_cycle kernel @ P={kernel['n_pes']}:",
@@ -609,6 +746,20 @@ def render_bench(report: dict) -> str:
     lines += [
         f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x"
         f" (vs list-batched: {kernel['speedup_arena_vs_list_batched']:.1f}x)",
+        f"kernel tiers (arena expand_cycle) @ P={fused['n_pes']}:",
+    ]
+    for name, row in fused["tiers"].items():
+        lines.append(
+            f"  {name:13s} {row['nodes_per_s']:>12,.0f} nodes/s"
+            f"  ({row['ms_per_cycle']:.3f} ms/cycle)"
+        )
+    lines.append(
+        f"  fused speedup vs numpy: {fused['speedup_fused_vs_numpy']:.2f}x;"
+        f" records identical: {fused['records_identical']}"
+    )
+    if fused["jit_note"]:
+        lines.append(f"  note: {fused['jit_note']}")
+    lines += [
         f"full run @ P={full['n_pes']}, W={full['total_work']}: "
         f"arena {full['seconds']['arena']:.2f}s, "
         f"list {full['seconds']['list-pernode']:.2f}s "
@@ -637,7 +788,8 @@ def render_search_bench(report: dict) -> str:
             f"  ({row['ms_per_cycle']:.3f} ms/cycle)"
         )
     lines += [
-        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x;"
+        f"  arena speedup vs list: {kernel['speedup_arena_vs_list']:.1f}x"
+        f" (fused vs arena: {kernel['speedup_fused_vs_arena']:.2f}x);"
         f" backends identical: {kernel['backends_identical']}",
         f"full parallel IDA* ({full['instance']}, P={full['n_pes']}, "
         f"W={full['total_expanded']}): "

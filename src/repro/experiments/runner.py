@@ -291,7 +291,7 @@ def _run_grid_batch(payload: tuple) -> list[tuple[int, RunMetrics]]:
     rebuilds its schemes (spec strings) and MegaArena once — the spawn
     and rebuild cost is amortized over the whole batch.
     """
-    shard, cost_model, splitter = payload
+    shard, cost_model, splitter, kernel_backend = payload
     plans = [
         CellPlan(
             index=index,
@@ -303,7 +303,12 @@ def _run_grid_batch(payload: tuple) -> list[tuple[int, RunMetrics]]:
         )
         for (index, spec, total_work, n_pes, seed, threshold) in shard
     ]
-    results = run_batched_cells(plans, cost_model=cost_model, splitter=splitter)
+    results = run_batched_cells(
+        plans,
+        cost_model=cost_model,
+        splitter=splitter,
+        kernel_backend=kernel_backend,
+    )
     return sorted(results.items())
 
 
@@ -350,6 +355,7 @@ def run_grid(
     chaos: GridChaos | None = None,
     registry: MetricsRegistry | None = None,
     executor: str = "auto",
+    kernel_backend: str = "numpy",
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
@@ -399,6 +405,12 @@ def run_grid(
     forces the one-cell-at-a-time oracle; ``"auto"`` (default) picks
     batched whenever every cell supports it and no per-cell hardening
     (``timeout``/``chaos``) was requested.
+
+    ``kernel_backend`` selects the kernel tier the batched executor's
+    mega-arena and matchers run on (``"numpy"`` reference by default,
+    ``"fused"``/``"jit"``/``"auto"`` — see :mod:`repro.kernels`); the
+    serial and process paths ignore it, and every tier is
+    record-identical.
     """
     if max_retries < 0:
         raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
@@ -418,6 +430,7 @@ def run_grid(
             n_jobs=n_jobs,
             max_retries=max_retries,
             registry=registry,
+            kernel_backend=kernel_backend,
         )
 
     if resolved == "process":
@@ -555,6 +568,7 @@ def _run_grid_batched(
     n_jobs: int | None,
     max_retries: int,
     registry: MetricsRegistry | None,
+    kernel_backend: str = "numpy",
 ) -> list[GridRecord]:
     """Execute planned cells through the mega-arena batched backend.
 
@@ -598,7 +612,7 @@ def _run_grid_batched(
                 )
                 for p in shard
             ]
-            return (rows, cost_model, splitter)
+            return (rows, cost_model, splitter, kernel_backend)
 
         attempts = [0] * len(shards)
         pending = list(range(len(shards)))
@@ -659,7 +673,12 @@ def _run_grid_batched(
             raise GridCellError("\n".join(lines), failures=tuple(failures))
     elif batchable:
         results.update(
-            run_batched_cells(batchable, cost_model=cost_model, splitter=splitter)
+            run_batched_cells(
+                batchable,
+                cost_model=cost_model,
+                splitter=splitter,
+                kernel_backend=kernel_backend,
+            )
         )
 
     for plan in fallback:

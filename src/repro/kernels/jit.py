@@ -1,0 +1,38 @@
+"""Numba JIT tier: compiled row loops, registered only when numba imports.
+
+The jit tier does not invent new kernels — it compiles the *same* scalar
+row loop (:func:`repro.kernels.search._expand_search_rows`) the fused
+tier already runs as its sparse-frontier fast path, so the code the JIT
+executes is the code the cross-tier identity suite exercises on every
+interpreter, numba or not.  The stack workload's cycle is dominated by
+``Generator`` draws (dirichlet/multinomial) that numba cannot replay
+stream-identically, so ``stack.expand_cycle`` deliberately has no jit
+registration and falls through the dispatch chain to the fused tier.
+
+When numba is absent this module is a no-op and
+:func:`repro.kernels.dispatch.jit_note` explains the fallback.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.dispatch import HAVE_NUMBA, register
+from repro.kernels.search import _expand_rows_driver, _expand_search_rows
+from repro.kernels.workspace import KernelWorkspace
+
+__all__ = ["HAVE_NUMBA"]
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    import numpy as np
+
+    _rows_compiled = numba.njit(cache=True)(_expand_search_rows)
+
+    def search_expand_jit(wl, ws: KernelWorkspace) -> int:  # repro: kernel
+        """JIT tier: the compiled row loop for every cycle, dense or sparse."""
+        pes = np.flatnonzero(wl._counts() > 0)
+        if len(pes) == 0:
+            return 0
+        wl._cached_counts = None
+        return _expand_rows_driver(wl, pes, ws, _rows_compiled)
+
+    register("search.expand_cycle", "jit", search_expand_jit)

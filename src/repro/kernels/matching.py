@@ -1,0 +1,72 @@
+"""Matcher rendezvous kernels (numpy reference + fused tiers).
+
+Both matching schemes pair the rank-``r`` grantor with the rank-``r``
+requester (Hillis rendezvous).  The ``"numpy"`` tier delegates to
+:func:`repro.simd.scan.rendezvous`; the ``"fused"`` tier performs the
+same validation and pairing with its intermediates (the overlap mask,
+the permutation check) in workspace scratch.  The returned donor and
+receiver index arrays are freshly allocated on every tier — callers
+retain them in :class:`~repro.core.matching.MatchResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# repro-lint: disable-file=R004 -- these kernels are the dispatch targets
+# the matchers call; every scan they perform is priced into the ledger by
+# the scheduler through Matcher.setup_scans, exactly like the matchers'
+# own direct calls, so cost accounting is not bypassed.
+from repro.kernels.dispatch import register
+from repro.kernels.workspace import KernelWorkspace
+from repro.simd.scan import rendezvous
+
+__all__ = ["rendezvous_numpy", "rendezvous_fused"]
+
+
+def rendezvous_numpy(
+    requesters, grantors, *, grantor_order=None, ws=None
+) -> tuple[np.ndarray, np.ndarray]:  # repro: kernel
+    """Reference tier — delegates to :func:`repro.simd.scan.rendezvous`.
+
+    Full-width enumeration over the unmasked PE axis.
+    """
+    return rendezvous(requesters, grantors, grantor_order=grantor_order)
+
+
+def rendezvous_fused(
+    requesters, grantors, *, grantor_order=None, ws: KernelWorkspace
+) -> tuple[np.ndarray, np.ndarray]:  # repro: kernel
+    """Fused tier: same pairing, scratch-backed validation.
+
+    Full-width enumeration over the unmasked PE axis.  Results are fresh
+    arrays (retained by MatchResult); only validation intermediates come
+    from the workspace.
+    """
+    requesters = np.asarray(requesters, dtype=bool)
+    grantors = np.asarray(grantors, dtype=bool)
+    if requesters.shape != grantors.shape:
+        raise ValueError("requesters and grantors must have the same shape")
+    both = ws.scratch("rv.both", len(requesters), dtype=bool)
+    np.logical_and(requesters, grantors, out=both)
+    if both.any():
+        raise ValueError("a processor cannot be both requester and grantor")
+
+    receiver_indices = np.flatnonzero(requesters)
+    if grantor_order is not None:
+        donor_indices = np.asarray(grantor_order, dtype=np.int64)
+        expected = np.flatnonzero(grantors)
+        check = ws.scratch("rv.check", len(donor_indices))
+        check[:] = donor_indices
+        check.sort()
+        if len(donor_indices) != len(expected) or not np.array_equal(check, expected):
+            raise ValueError("grantor_order must be a permutation of the grantor set")
+    else:
+        donor_indices = np.flatnonzero(grantors)
+
+    k = min(len(donor_indices), len(receiver_indices))
+    return donor_indices[:k].copy(), receiver_indices[:k].copy()
+
+
+register("match.rendezvous", "numpy", rendezvous_numpy)
+register("match.rendezvous", "fused", rendezvous_fused)

@@ -1,0 +1,83 @@
+"""Sum-scan kernels: the numpy reference tier and the fused ``out=`` tier.
+
+The matching schemes are built from exclusive sum-scans
+(:mod:`repro.simd.scan`); the fused tier here re-implements them writing
+into workspace scratch so a steady-state LB phase allocates nothing for
+its enumeration passes.  The ``scan.sum_scan`` obs span is preserved on
+every tier — observation purity tests cover both.
+
+Returned arrays from the fused tier are workspace views, valid until the
+next request for the same scratch name; callers that retain a result
+(:class:`~repro.core.matching.MatchResult` does) copy it out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# repro-lint: disable-file=R004 -- these kernels are the dispatch targets
+# behind repro.simd.scan's own cost-accounted call sites; the reference
+# tiers delegate to the scan primitives verbatim and the callers charge
+# the machine exactly as before, so cost accounting is not bypassed.
+from repro.kernels.dispatch import register
+from repro.kernels.workspace import KernelWorkspace
+from repro.obs.profile import span
+from repro.simd.scan import enumerate_mask, sum_scan
+
+__all__ = ["sum_scan_numpy", "sum_scan_fused", "enumerate_mask_numpy", "enumerate_mask_fused"]
+
+
+def sum_scan_numpy(values: np.ndarray, *, inclusive: bool = False, ws=None) -> np.ndarray:  # repro: kernel
+    """Reference tier — delegates to :func:`repro.simd.scan.sum_scan`.
+
+    Full-width scan over the unmasked PE axis; allocates its result.
+    """
+    return sum_scan(values, inclusive=inclusive)
+
+
+def sum_scan_fused(
+    values: np.ndarray, *, inclusive: bool = False, ws: KernelWorkspace
+) -> np.ndarray:  # repro: kernel
+    """Fused tier — cumsum into workspace scratch, no temporaries.
+
+    Full-width scan over the unmasked PE axis.  Returns a workspace view
+    (``"scan.inc"`` / ``"scan.exc"``) valid until the next same-named
+    request.
+    """
+    n = len(values)
+    with span("scan.sum_scan", cat="scan"):
+        inc = ws.scratch("scan.inc", n)
+        np.cumsum(values, out=inc)
+        if inclusive:
+            return inc
+        exc = ws.scratch("scan.exc", n)
+        if n:
+            exc[0] = 0
+            exc[1:] = inc[:-1]
+        return exc
+
+
+def enumerate_mask_numpy(mask: np.ndarray, *, ws=None) -> np.ndarray:  # repro: kernel
+    """Reference tier — delegates to :func:`repro.simd.scan.enumerate_mask`.
+
+    Full-width rank assignment over the unmasked PE axis.
+    """
+    return enumerate_mask(mask)
+
+
+def enumerate_mask_fused(mask: np.ndarray, *, ws: KernelWorkspace) -> np.ndarray:  # repro: kernel
+    """Fused tier: rank the ``True`` PEs, scratch-backed scan.
+
+    Full-width rank assignment over the unmasked PE axis.  The returned
+    rank array is freshly allocated (callers retain it in MatchResult);
+    only the intermediate scan uses scratch.
+    """
+    ranks = sum_scan_fused(mask, ws=ws)
+    out = np.where(mask, ranks, -1)
+    return out
+
+
+register("scan.sum_scan", "numpy", sum_scan_numpy)
+register("scan.sum_scan", "fused", sum_scan_fused)
+register("scan.enumerate_mask", "numpy", enumerate_mask_numpy)
+register("scan.enumerate_mask", "fused", enumerate_mask_fused)

@@ -1,0 +1,289 @@
+"""Stack-workload expand-cycle kernels (numpy reference + fused tiers).
+
+One lock-step cycle of the synthetic stack workload = pop every
+non-empty PE's top subtree size, draw the child partition for each
+(batched stick-breaking, one fixed RNG call sequence), push the children
+back and rewind exhausted windows.  Every tier presents the same
+``(workload, workspace) -> expanded count`` contract the search kernels
+use: the kernel selects the expanding PEs itself (``flatnonzero`` of
+the non-empty mask) and owns the count-cache invalidation and expansion
+bookkeeping.  The ``"numpy"`` tier below is the exact pre-dispatch code
+path (arena method calls +
+:func:`~repro.workmodel.arena.draw_children_batch`); the ``"fused"``
+tier re-implements the same cycle writing into
+:class:`~repro.kernels.workspace.KernelWorkspace` scratch:
+
+- pop via one flat-index gather instead of two fancy-index passes;
+- the sampler consumes the *identical* RNG stream (the draws themselves
+  are irreducible — they are the bit-identity contract) but builds its
+  ``parts`` table and CSR pack in reused buffers;
+- the push computes its scatter indices with the segment-id trick
+  (:func:`segment_slots`) — cumsum + takes into scratch — instead of
+  three ``np.repeat`` allocations;
+- the empty-window reset is two ``np.copyto(..., where=)`` stores with
+  no index array.
+
+Both tiers leave the arena in bit-identical logical state (windows,
+pointers, RNG position); the cross-tier identity suite asserts it
+against the list oracle across all six paper schemes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kernels.dispatch import register
+from repro.kernels.workspace import KernelWorkspace
+from repro.workmodel.arena import draw_children_batch
+
+if TYPE_CHECKING:
+    from repro.workmodel.stackmodel import StackWorkload
+
+__all__ = ["stack_expand_numpy", "stack_expand_fused", "segment_slots", "fused_reset_windows"]
+
+
+def stack_expand_numpy(wl: StackWorkload, ws=None) -> int:  # repro: kernel
+    """Reference tier: the historical arena expand-cycle, verbatim.
+
+    Selects the expanding PEs itself (``flatnonzero`` of the non-empty
+    mask); the arena methods it calls are themselves full-width kernels.
+    """
+    arena = wl._arena
+    assert arena is not None
+    pes = np.flatnonzero(wl._counts() > 0)
+    n = len(pes)
+    if n == 0:
+        return 0
+    wl._cached_counts = None
+    wl._expanded += n
+    sizes = arena.pop_tops(pes)
+    lens, flat = draw_children_batch(
+        wl.rng, sizes, wl.max_branching, wl.leaf_probability
+    )
+    arena.push_segments(pes, lens, flat)
+    arena.reset_empty_windows()
+    return n
+
+
+def segment_slots(
+    pes: np.ndarray,
+    tops: np.ndarray,
+    lens: np.ndarray,
+    capacity: int,
+    ws: KernelWorkspace,
+    prefix: str,
+) -> tuple[np.ndarray | None, int]:
+    """Flat destination slot per CSR element for a segmented arena push.
+
+    Element ``i`` of the returned array is ``row * capacity + slot`` for
+    the ``i``-th value of the flat CSR payload — the scatter index
+    :meth:`StackArena.push_segments` derives with three ``np.repeat``
+    calls, computed here as cumsum + gathers into workspace scratch.
+    Returns ``(None, 0)`` when every segment is empty.
+
+    Unmasked by construction: ``pes`` is the caller's
+    ``flatnonzero(active)`` selection, so every computed slot belongs to
+    an expanding PE's own window.
+    """
+    m0 = len(lens)
+    if m0 == 0:
+        return None, 0
+    if int(lens.min()) > 0:
+        # Dense-segment fast path: every listed PE pushes, so the
+        # empty-segment drop (flatnonzero + two gathers) is skipped.
+        m = m0
+        lens_nz = lens
+        pes_nz = pes
+        tops_nz = tops
+    else:
+        nzseg = np.flatnonzero(lens)
+        m = len(nzseg)
+        if m == 0:
+            return None, 0
+        lens_nz = ws.scratch(prefix + ".lens_nz", m)
+        np.take(lens, nzseg, out=lens_nz)
+        pes_nz = ws.scratch(prefix + ".pes_nz", m)
+        np.take(pes, nzseg, out=pes_nz)
+        tops_nz = ws.scratch(prefix + ".tops_nz", m)
+        np.take(tops, nzseg, out=tops_nz)
+    ends = ws.scratch(prefix + ".ends", m)
+    np.cumsum(lens_nz, out=ends)
+    total = int(ends[-1])
+    marks = ws.scratch(prefix + ".marks", total)
+    marks.fill(0)
+    if m > 1:
+        # Segment ends are strictly increasing, so these indices are
+        # unique — plain scatter, no np.add.at needed.
+        marks[ends[:-1]] = 1
+    segid = ws.scratch(prefix + ".segid", total)
+    np.cumsum(marks, out=segid)
+    # Fold row, start slot and segment begin into one per-segment base —
+    # base[s] = row*capacity + start - begin — so only a single gather
+    # plus one iota add run at flat-payload length:
+    # dest[i] = base[segid[i]] + i.
+    base = ws.scratch(prefix + ".base", m)
+    np.multiply(pes_nz, capacity, out=base)
+    np.add(base, tops_nz, out=base)
+    np.subtract(base, ends, out=base)
+    np.add(base, lens_nz, out=base)
+    dest = ws.scratch(prefix + ".dest", total)
+    np.take(base, segid, out=dest)
+    np.add(dest, ws.iota(total), out=dest)
+    return dest, total
+
+
+def fused_reset_windows(bottom: np.ndarray, top: np.ndarray, ws: KernelWorkspace, prefix: str) -> None:
+    """Rewind exhausted windows to column 0 without an index array.
+
+    Full-width over the unmasked PE axis — the two stores are
+    ``where=``-guarded by the emptiness mask itself, exactly like
+    ``reset_empty_windows``'s masked stores.
+    """
+    empty = ws.scratch(prefix + ".empty", len(top), dtype=bool)
+    np.equal(top, bottom, out=empty)
+    np.copyto(top, 0, where=empty)
+    np.copyto(bottom, 0, where=empty)
+
+
+def stack_expand_fused(wl: StackWorkload, ws: KernelWorkspace) -> int:  # repro: kernel
+    """Fused tier: scratch-backed pop/sample/pack/push, identical stream.
+
+    Selects the expanding PEs itself (``flatnonzero`` of the non-empty
+    mask), so every write below lands in an expanding PE's own window.
+    The RNG call sequence is byte-for-byte the one
+    :func:`~repro.workmodel.arena.draw_children_batch` makes — the draws
+    themselves are the irreducible ~43% of the cycle; everything around
+    them reuses workspace buffers.
+    """
+    arena = wl._arena
+    assert arena is not None
+    pes = np.flatnonzero(wl._counts() > 0)
+    n = len(pes)
+    if n == 0:
+        return 0
+    wl._cached_counts = None
+    wl._expanded += n
+    rng = wl.rng
+    max_branching = wl.max_branching
+    leaf_probability = wl.leaf_probability
+    data = arena.data
+    top = arena.top
+    # Every-PE-active cycles (the dense steady state) update the pointer
+    # vectors in place — no gather/scatter through `pes` at all.
+    dense = n == arena.n_pes
+
+    # -- pop: one pointer update + one flat gather -------------------------
+    if dense:
+        np.subtract(top, 1, out=top)
+        tops = top
+    else:
+        tops = ws.scratch("stack.tops", n)
+        np.take(top, pes, out=tops)
+        np.subtract(tops, 1, out=tops)
+        top[pes] = tops
+    slot = ws.scratch("stack.slot", n)
+    np.multiply(pes, arena.capacity, out=slot)
+    np.add(slot, tops, out=slot)
+    sizes = ws.scratch("stack.sizes", n)
+    np.take(data.ravel(), slot, out=sizes)
+
+    # -- sampler: draw_children_batch's exact stream, scratch-backed -------
+    rest = ws.scratch("stack.rest", n)
+    np.subtract(sizes, 1, out=rest)
+    parts = ws.scratch2d("stack.parts", n, max_branching)
+    parts.fill(0)
+    amask = ws.scratch("stack.amask", n, dtype=bool)
+    np.greater(rest, 0, out=amask)
+    active = np.flatnonzero(amask)
+    if len(active):
+        if leaf_probability:
+            leaf = rng.random(len(active)) < leaf_probability
+            chain = active[leaf]
+            parts[chain, 0] = rest[chain]
+            nonleaf = active[~leaf]
+        else:
+            # No leaf draw is consumed when leaf_probability == 0 — the
+            # reference sampler skips the uniform batch entirely, so the
+            # fused tier must too to stay stream-identical.
+            nonleaf = active
+        if len(nonleaf):
+            # When every popped PE is a non-leaf splitter (the dense
+            # steady state), `nonleaf` is all of 0..n-1 and the group
+            # selections collapse to flatnonzero on a scratch mask.
+            nl_all = len(nonleaf) == n
+            b = rng.integers(1, max_branching + 1, size=len(nonleaf))
+            if nl_all:
+                np.minimum(b, rest, out=b)
+            else:
+                restnl = ws.scratch("stack.restnl", len(nonleaf))
+                np.take(rest, nonleaf, out=restnl)
+                np.minimum(b, restnl, out=b)
+            gm = ws.scratch("stack.gmask", len(nonleaf), dtype=bool)
+            pflat = parts.ravel()
+            np.equal(b, 1, out=gm)
+            single = np.flatnonzero(gm) if nl_all else nonleaf[gm]
+            if len(single):
+                # Flat scatters into the parts table — a 2-D fancy
+                # assignment costs several times the flat equivalent.
+                sidx = ws.scratch("stack.sidx", len(single))
+                np.multiply(single, max_branching, out=sidx)
+                sval = ws.scratch("stack.sval", len(single))
+                np.take(rest, single, out=sval)
+                pflat[sidx] = sval
+            for bv in range(2, max_branching + 1):
+                np.equal(b, bv, out=gm)
+                idx = np.flatnonzero(gm) if nl_all else nonleaf[gm]
+                if len(idx) == 0:
+                    continue
+                weights = rng.dirichlet(np.ones(bv), size=len(idx))
+                drawn = rng.multinomial(rest[idx], weights)
+                fidx = ws.scratch2d(f"stack.fidx{bv}", len(idx), bv)
+                np.multiply(idx, max_branching, out=fidx[:, 0])
+                for col in range(1, bv):
+                    np.add(fidx[:, 0], col, out=fidx[:, col])
+                pflat[fidx.ravel()] = drawn.ravel()
+
+    # -- pack: CSR lens + flat values without boolean fancy indexing -------
+    live = ws.scratch2d("stack.live", n, max_branching, dtype=bool)
+    np.greater(parts, 0, out=live)
+    lens = ws.scratch("stack.lens", n)
+    # Column adds beat an axis-1 reduction at width <= a handful.
+    np.copyto(lens, live[:, 0])
+    for col in range(1, max_branching):
+        np.add(lens, live[:, col], out=lens)
+    nz = np.flatnonzero(live.ravel())
+    total = len(nz)
+    if total:
+        flat = ws.scratch("stack.flat", total)
+        np.take(parts.ravel(), nz, out=flat)
+
+        # -- push: segment-id scatter; `tops` is already the post-pop
+        # pointer vector, so the no-growth fast path (the steady state)
+        # reuses it without another gather ---------------------------------
+        grow = ws.scratch("stack.grow", n)
+        np.add(tops, lens, out=grow)
+        if int(grow.max()) > arena.capacity:
+            # Same growth decision push_segments makes; compaction may
+            # move windows, so re-read the pointers afterwards.
+            arena._ensure_capacity(pes, lens)
+            data = arena.data
+            if dense:
+                tops = top = arena.top
+            else:
+                np.take(arena.top, pes, out=tops)
+        dest, _ = segment_slots(pes, tops, lens, arena.capacity, ws, "stack.push")
+        data.ravel()[dest] = flat
+        if dense:
+            np.add(top, lens, out=top)
+        else:
+            np.add(tops, lens, out=tops)
+            top[pes] = tops
+
+    fused_reset_windows(arena.bottom, arena.top, ws, "stack.reset")
+    return n
+
+
+register("stack.expand_cycle", "numpy", stack_expand_numpy)
+register("stack.expand_cycle", "fused", stack_expand_fused)

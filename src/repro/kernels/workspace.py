@@ -1,0 +1,146 @@
+"""Preallocated scratch storage for the fused kernel tier.
+
+The ``"fused"`` backend's contract is that steady-state lock-step cycles
+allocate (almost) nothing: every temporary a kernel needs — popped-top
+buffers, mask planes, prefix sums, flat scatter indices — comes from one
+per-workload :class:`KernelWorkspace` and is reused cycle after cycle.
+Three kinds of storage live here:
+
+- **named scratch** (:meth:`scratch` / :meth:`scratch2d`): a buffer per
+  logical role (``"stack.tops"``, ``"search.keep"``, ...), grown
+  geometrically and returned as a leading-slice view.  Reused buffers
+  come back *dirty*; the kernels overwrite every element they read (the
+  hypothesis fuzz suite locks the no-stale-leakage property in).
+- **the iota** (:meth:`iota`): one cached, read-only ``arange`` shared
+  by every kernel that needs ``0..n`` row/flat indexing — the arena
+  growth path and the push scatters re-slice it instead of re-running
+  ``np.arange`` per cycle.
+- **the buffer pool** (:meth:`lease` / :meth:`release`): whole-array
+  storage for arena growth.  A leased buffer is zero-filled before it is
+  handed out, so pooled growth is bit-identical to the historical
+  ``np.zeros`` reallocation; the buffer the arena abandons goes back
+  into the pool keyed by ``(shape, dtype)``.
+
+Lifetime: a workspace belongs to one workload (or one driver such as
+:class:`~repro.search.parallel.ParallelIDAStar`, which shares a single
+workspace across all IDA* iterations so scratch survives workload
+rebuilds).  Views returned by :meth:`scratch`/:meth:`scratch2d` are
+valid until the next request for the *same name*; kernels that need two
+live buffers use two names.  ``hits``/``misses`` count buffer reuse vs.
+fresh allocation, which the workspace tests assert trends to all-hits in
+steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KernelWorkspace"]
+
+
+def _grow_to(n: int) -> int:
+    """Smallest power of two >= max(n, 16) — geometric growth floor."""
+    return max(16, 1 << (max(n, 1) - 1).bit_length())
+
+
+class KernelWorkspace:
+    """Scratch buffers, a shared iota and a grow-buffer pool (see module)."""
+
+    __slots__ = ("_named", "_iota", "_pool", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._named: dict[str, np.ndarray] = {}
+        self._iota = np.arange(16, dtype=np.int64)
+        self._iota.setflags(write=False)
+        self._pool: dict[tuple[tuple[int, ...], str], list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- named scratch ------------------------------------------------------
+
+    def scratch(self, name: str, n: int, dtype=np.int64) -> np.ndarray:
+        """A 1-D buffer of ``n`` elements under ``name`` (dirty on reuse)."""
+        want = np.dtype(dtype)
+        buf = self._named.get(name)
+        if buf is None or buf.ndim != 1 or buf.dtype != want or buf.shape[0] < n:
+            buf = np.empty(_grow_to(n), dtype=want)
+            self._named[name] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf[:n]
+
+    def scratch2d(self, name: str, rows: int, cols: int, dtype=np.int64) -> np.ndarray:
+        """A ``(rows, cols)`` buffer under ``name`` (dirty on reuse).
+
+        The row capacity grows geometrically; a change of ``cols`` or
+        dtype reallocates (column widths are fixed per logical role).
+        """
+        want = np.dtype(dtype)
+        buf = self._named.get(name)
+        if (
+            buf is None
+            or buf.ndim != 2
+            or buf.dtype != want
+            or buf.shape[1] != cols
+            or buf.shape[0] < rows
+        ):
+            buf = np.empty((_grow_to(rows), cols), dtype=want)
+            self._named[name] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf[:rows]
+
+    # -- shared iota ---------------------------------------------------------
+
+    def iota(self, n: int) -> np.ndarray:
+        """Read-only ``arange(n)`` view backed by one cached array."""
+        if n > len(self._iota):
+            fresh = np.arange(_grow_to(n), dtype=np.int64)
+            fresh.setflags(write=False)
+            self._iota = fresh
+        return self._iota[:n]
+
+    # -- grow-buffer pool ----------------------------------------------------
+
+    def lease(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A zero-filled array of ``shape``/``dtype``, pooled when possible.
+
+        Zero-on-lease keeps pooled arena growth bit-identical to a fresh
+        ``np.zeros`` allocation.
+        """
+        want = np.dtype(dtype)
+        key = (tuple(int(s) for s in shape), want.str)
+        bucket = self._pool.get(key)
+        if bucket:
+            self.hits += 1
+            buf = bucket.pop()
+            buf.fill(0)
+            return buf
+        self.misses += 1
+        return np.zeros(shape, dtype=want)
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a previously-leased (or abandoned) array to the pool."""
+        key = (tuple(int(s) for s in buf.shape), buf.dtype.str)
+        self._pool.setdefault(key, []).append(buf)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release_storage(self) -> None:
+        """Drop every buffer (scratch, pool, iota) back to the allocator."""
+        self._named.clear()
+        self._pool.clear()
+        fresh = np.arange(16, dtype=np.int64)
+        fresh.setflags(write=False)
+        self._iota = fresh
+
+    def stats(self) -> dict[str, int]:
+        """Reuse counters and live-buffer census (for tests and bench)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "named": len(self._named),
+            "pooled": sum(len(b) for b in self._pool.values()),
+        }

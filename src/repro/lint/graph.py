@@ -10,8 +10,10 @@ every linted module once into a :class:`ProjectIndex`:
 - a **symbol table** of every function/method, keyed by qualified name
   (``repro.search.arena.SearchArena.pop_tops``);
 - a **call graph** whose edges are statically resolvable calls (import-
-  derived names, module-level locals, and ``self.``/``cls.`` methods of
-  the enclosing class).
+  derived names, module-level locals, ``self.``/``cls.`` methods of the
+  enclosing class, and ``alias.method(...)`` where the alias' class is
+  known — from a constructor call, an instance-attribute binding, or a
+  parameter annotation naming a project class).
 
 Kernel marking — which code the discipline rules police — comes from
 three sources, in increasing locality:
@@ -221,12 +223,47 @@ class ProjectIndex:
             return f"{module.name}.{call.func.id}"
         return None
 
-    def _local_types(self, fn: FunctionInfo) -> dict[str, str]:
-        """Local-variable class types from simple aliasing assignments.
+    def _class_of_annotation(
+        self, ann: ast.expr, module: ModuleInfo
+    ) -> str | None:
+        """Class qualname a type annotation names, if resolvable.
 
-        Recognizes ``arena = self._arena`` (through :attr:`attr_types`)
-        and ``arena = SearchArena(...)`` — enough to resolve the
-        ``alias.method(...)`` call style the kernels use.
+        Handles plain names and dotted paths (through the module's
+        import bindings), ``X | None`` unions, and string annotations.
+        ``Optional[...]``/generic forms stay unresolved — the call graph
+        is an under-approximation.
+        """
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            left = self._class_of_annotation(ann.left, module)
+            if left is not None:
+                return left
+            return self._class_of_annotation(ann.right, module)
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            dotted = resolve_call(ann, module.bindings)
+            if dotted is not None and dotted in self.classes:
+                return dotted
+            if (
+                isinstance(ann, ast.Name)
+                and f"{module.name}.{ann.id}" in self.classes
+            ):
+                return f"{module.name}.{ann.id}"
+        return None
+
+    def _local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Local-variable class types from annotations and simple aliases.
+
+        Parameters annotated with a project class seed the map
+        (``def kernel(arena: StackArena, ...)``); the assignment walk
+        then recognizes ``arena = self._arena`` and ``wl._arena`` reads
+        through :attr:`attr_types` (the receiver being ``self``/``cls``
+        or any already-typed local) and ``arena = SearchArena(...)`` —
+        enough to resolve the ``alias.method(...)`` call style the
+        kernels use.
         """
         cached = self._local_types_cache.get(fn.qualname)
         if cached is not None:
@@ -234,6 +271,13 @@ class ProjectIndex:
         module = self.modules.get(fn.module)
         types: dict[str, str] = {}
         if module is not None:
+            args = fn.node.args
+            for a in args.posonlyargs + args.args + args.kwonlyargs:
+                if a.annotation is None:
+                    continue
+                annotated = self._class_of_annotation(a.annotation, module)
+                if annotated is not None:
+                    types[a.arg] = annotated
             for node in ast.walk(fn.node):
                 if not isinstance(node, ast.Assign):
                     continue
@@ -243,15 +287,16 @@ class ProjectIndex:
                     continue
                 value = node.value
                 resolved: str | None = None
-                if (
-                    isinstance(value, ast.Attribute)
-                    and isinstance(value.value, ast.Name)
-                    and value.value.id in ("self", "cls")
-                    and fn.cls is not None
+                if isinstance(value, ast.Attribute) and isinstance(
+                    value.value, ast.Name
                 ):
-                    resolved = self.attr_types.get(
-                        f"{fn.module}.{fn.cls}.{value.attr}"
-                    )
+                    owner: str | None = None
+                    if value.value.id in ("self", "cls") and fn.cls is not None:
+                        owner = f"{fn.module}.{fn.cls}"
+                    else:
+                        owner = types.get(value.value.id)
+                    if owner is not None:
+                        resolved = self.attr_types.get(f"{owner}.{value.attr}")
                 elif isinstance(value, ast.Call):
                     resolved = self._class_of_call(value, module)
                 if resolved is not None:

@@ -53,11 +53,13 @@ from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
+from repro.kernels.dispatch import get_kernel, resolve_backend
+from repro.kernels.workspace import KernelWorkspace
 from repro.obs import Observability
 from repro.obs.events import IterationEvent
 from repro.obs.profile import span
 from repro.obs.registry import record_run
-from repro.search.arena import BLANK_COL, G_COL, H_COL, PREV_COL, SearchArena
+from repro.search.arena import BLANK_COL, G_COL, PREV_COL, SearchArena
 from repro.search.memo import HeuristicMemo
 from repro.search.problem import SearchProblem
 from repro.search.stack import DFSStack, StackEntry
@@ -112,6 +114,16 @@ class SearchWorkload:
         backend routes child-``h`` computations through (share one across
         IDA* iterations to carry the cache over).  The arena backend
         needs none and rejects it.
+    kernel_backend:
+        Expand-cycle kernel tier for the arena backend — ``"numpy"``
+        (reference, default), ``"fused"`` (zero-allocation workspace
+        path with a sparse-frontier fast path), ``"jit"`` (numba row
+        loop when available, else fused) or ``"auto"``.  The list
+        backend is the oracle and only accepts ``"numpy"``.
+    workspace:
+        Optional shared :class:`~repro.kernels.KernelWorkspace` (IDA*
+        passes one across iterations); one is created per workload when
+        a non-numpy tier needs it.
     """
 
     def __init__(
@@ -124,6 +136,8 @@ class SearchWorkload:
         first_solution_only: bool = False,
         backend: str = "list",
         h_memo: HeuristicMemo | None = None,
+        kernel_backend: str = "numpy",
+        workspace: KernelWorkspace | None = None,
     ) -> None:
         if split not in ("bottom", "half"):
             raise ValueError(f"split must be 'bottom' or 'half', got {split!r}")
@@ -135,6 +149,17 @@ class SearchWorkload:
         self.split = split
         self.first_solution_only = first_solution_only
         self.backend = backend
+        resolved = resolve_backend(kernel_backend)
+        if backend == "list" and resolved != "numpy":
+            raise ValueError(
+                "the list backend is the oracle tier and only accepts "
+                f"kernel_backend='numpy', got {kernel_backend!r}"
+            )
+        self.kernel_backend = resolved
+        if workspace is None and resolved != "numpy":
+            workspace = KernelWorkspace()
+        self._kernel_ws = workspace
+        self._expand_kernel = None
 
         self.expanded = 0
         self.solutions = 0
@@ -172,6 +197,8 @@ class SearchWorkload:
             self._dist_table = problem.manhattan_table()
             self._goal_row = problem.goal_row()
             self._arena = SearchArena(self.n_pes, problem.state_width)
+            self._arena.workspace = self._kernel_ws
+            self._expand_kernel = get_kernel("search.expand_cycle", resolved)
             h0 = problem.heuristic(root)
             if h0 <= self.bound:
                 tiles_row, blank, prev = problem.encode_state(root)
@@ -289,87 +316,11 @@ class SearchWorkload:
             return self._expand_cycle_arena_inner()
 
     def _expand_cycle_arena_inner(self) -> int:  # repro: kernel
-        arena = self._arena
-        assert arena is not None
-        pes = np.flatnonzero(self._counts() > 0)
-        n = len(pes)
-        if n == 0:
-            return 0
-        self._cached_counts = None
-        tiles, meta = arena.pop_tops(pes)
-        self.expanded += n
-
-        goal = (tiles == self._goal_row).all(axis=1)
-        if goal.any():
-            self.solutions += int(goal.sum())
-            self.goal_depths.extend(int(d) for d in meta[goal, G_COL])
-            live = ~goal
-            if not live.any():
-                arena.reset_empty_windows()
-                return n
-            pes_l = pes[live]
-            tiles_l = tiles[live]
-            g_l = meta[live, G_COL]
-            h_l = meta[live, H_COL]
-            blank_l = meta[live, BLANK_COL]
-            prev_l = meta[live, PREV_COL]
-        else:
-            # No goal popped this cycle (the overwhelmingly common case):
-            # every row is live, so column *views* replace six fancy-index
-            # copies — same values, zero copies, bit-identical downstream.
-            pes_l = pes
-            tiles_l = tiles
-            g_l = meta[:, G_COL]
-            h_l = meta[:, H_COL]
-            blank_l = meta[:, BLANK_COL]
-            prev_l = meta[:, PREV_COL]
-        m = len(pes_l)
-
-        # Candidate moves: columns of the move table are the problem's
-        # generation order; -1 pads positions with fewer than 4 moves and
-        # the move undoing the parent's is forbidden (2-cycle pruning).
-        dests = self._move_table[blank_l]  # (m, 4)
-        valid = (dests >= 0) & (dests != prev_l[:, None])
-        safe = np.where(valid, dests, 0)
-        if m > len(self._iota):
-            self._iota = np.arange(m, dtype=np.int64)
-        rows = self._iota[:m]
-        moved = tiles_l[rows[:, None], safe]  # (m, 4) moved-tile values
-        # Incremental Manhattan: tile `moved` slides from `safe` into the
-        # blank, so h changes by D[moved, blank] - D[moved, safe].
-        dist = self._dist_table
-        child_h = h_l[:, None] + dist[moved, blank_l[:, None]] - dist[moved, safe]
-        child_f = g_l[:, None] + 1 + child_h
-        keep = valid & (child_f <= self.bound)
-        pruned = valid & ~keep
-        if pruned.any():
-            smallest = int(child_f[pruned].min())
-            if self.next_bound is None or smallest < self.next_bound:
-                self.next_bound = smallest
-
-        # Push in *reversed* generation order (walk the move columns
-        # right-to-left), so popping the flat tail visits children in
-        # generation order — same as the list backend's level reversal.
-        keep_r = keep[:, ::-1]
-        lens = keep_r.sum(axis=1, dtype=np.int64)
-        total = int(lens.sum())
-        if total:
-            ii, jj = np.nonzero(keep_r)  # row-major: per-parent reversed order
-            dest_sel = dests[:, ::-1][ii, jj]
-            if total > len(self._iota):
-                self._iota = np.arange(total, dtype=np.int64)
-            flat = self._iota[:total]
-            flat_tiles = tiles_l[ii]  # fancy indexing copies
-            flat_tiles[flat, blank_l[ii]] = flat_tiles[flat, dest_sel]
-            flat_tiles[flat, dest_sel] = 0
-            flat_meta = np.empty((total, 4), dtype=np.int32)
-            flat_meta[:, G_COL] = g_l[ii] + 1
-            flat_meta[:, H_COL] = child_h[:, ::-1][ii, jj]
-            flat_meta[:, BLANK_COL] = dest_sel
-            flat_meta[:, PREV_COL] = blank_l[ii]
-            arena.push_segments(pes_l, lens, flat_tiles, flat_meta)
-        arena.reset_empty_windows()
-        return n
+        # The cycle body lives in repro.kernels.search; the registry
+        # resolved the tier once at construction.  Every tier does its own
+        # pes selection, count-cache invalidation and bookkeeping against
+        # this workload, so the wrapper is a plain delegation.
+        return self._expand_kernel(self, self._kernel_ws)
 
     def transfer(self, donors: np.ndarray, receivers: np.ndarray) -> int:
         donors = np.asarray(donors, dtype=np.int64)
@@ -477,6 +428,7 @@ def parallel_depth_bounded(
     backend: str = "list",
     h_memo: HeuristicMemo | None = None,
     sanitize: bool = False,
+    kernel_backend: str = "numpy",
 ) -> tuple[SearchWorkload, RunMetrics]:
     """One cost-bounded parallel DFS pass (no iterative deepening).
 
@@ -496,6 +448,7 @@ def parallel_depth_bounded(
         first_solution_only=first_solution_only,
         backend=backend,
         h_memo=h_memo,
+        kernel_backend=kernel_backend,
     )
     metrics = Scheduler(
         workload,
@@ -556,6 +509,10 @@ class ParallelIDAStar:
     backend:
         Stack storage, forwarded to the workload (``"list"`` or
         ``"arena"``); both produce identical results.
+    kernel_backend:
+        Expand-cycle kernel tier forwarded to every iteration's workload
+        (arena backend only); one :class:`~repro.kernels.KernelWorkspace`
+        is shared across all iterations so scratch buffers warm up once.
     heuristic_memo:
         List backend only: cache child heuristics in one (deprecated)
         :class:`~repro.search.memo.HeuristicMemo` shared across all
@@ -597,6 +554,7 @@ class ParallelIDAStar:
         sanitize: bool = False,
         faults: FaultPlan | None = None,
         obs: Observability | None = None,
+        kernel_backend: str = "numpy",
     ) -> None:
         self.problem = problem
         self.n_pes = int(n_pes)
@@ -609,6 +567,12 @@ class ParallelIDAStar:
         self.sanitize = sanitize
         self.faults = faults
         self.obs = obs
+        self.kernel_backend = resolve_backend(kernel_backend)
+        # One workspace for the whole deepening run: scratch buffers and
+        # pooled arena planes warmed by iteration k are reused by k+1.
+        self._kernel_ws = (
+            KernelWorkspace() if self.kernel_backend != "numpy" else None
+        )
         self.h_memo = (
             HeuristicMemo(problem.heuristic)
             if heuristic_memo and backend == "list"
@@ -633,6 +597,8 @@ class ParallelIDAStar:
                 split=self.split,
                 backend=self.backend,
                 h_memo=self.h_memo,
+                kernel_backend=self.kernel_backend,
+                workspace=self._kernel_ws,
             )
             scheduler = Scheduler(
                 workload,

@@ -46,6 +46,8 @@ from collections import deque
 
 import numpy as np
 
+from repro.kernels.dispatch import get_kernel, resolve_backend
+from repro.kernels.workspace import KernelWorkspace
 from repro.obs.profile import span
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive_int
@@ -77,6 +79,15 @@ class StackWorkload:
         ``"pernode"`` or ``"batched"``; defaults to the backend's native
         mode (list -> pernode, arena -> batched).  The arena backend only
         supports ``"batched"``.
+    kernel_backend:
+        Expand-cycle kernel tier for the arena backend — ``"numpy"``
+        (reference, default), ``"fused"`` (zero-allocation workspace
+        path), ``"jit"`` (numba when available, else fused) or
+        ``"auto"``.  The list backend is the oracle and only accepts
+        ``"numpy"``.
+    workspace:
+        Optional shared :class:`~repro.kernels.KernelWorkspace`; one is
+        created per workload when a non-numpy tier needs it.
     """
 
     def __init__(
@@ -89,6 +100,8 @@ class StackWorkload:
         rng: int | np.random.Generator | None = None,
         backend: str = "list",
         sampler: str | None = None,
+        kernel_backend: str = "numpy",
+        workspace: KernelWorkspace | None = None,
     ) -> None:
         self.total_work = check_positive_int(total_work, "total_work")
         self.n_pes = check_positive_int(n_pes, "n_pes")
@@ -111,12 +124,25 @@ class StackWorkload:
             raise ValueError("the arena backend only supports sampler='batched'")
         self.backend = backend
         self.sampler = sampler
+        resolved = resolve_backend(kernel_backend)
+        if backend == "list" and resolved != "numpy":
+            raise ValueError(
+                "the list backend is the oracle tier and only accepts "
+                f"kernel_backend='numpy', got {kernel_backend!r}"
+            )
+        self.kernel_backend = resolved
+        if workspace is None and resolved != "numpy":
+            workspace = KernelWorkspace()
+        self._kernel_ws = workspace
 
         self._arena: StackArena | None = None
         self._stacks: list[deque[int]] | None = None
+        self._expand_kernel = None
         if backend == "arena":
             self._arena = StackArena(n_pes)
+            self._arena.workspace = self._kernel_ws
             self._arena.push_root(0, total_work)
+            self._expand_kernel = get_kernel("stack.expand_cycle", resolved)
         else:
             # stacks[p] holds PE p's pending subtree sizes; the root
             # subtree (the whole tree) starts on PE 0.
@@ -198,21 +224,11 @@ class StackWorkload:
             return self._expand_cycle_arena_inner()
 
     def _expand_cycle_arena_inner(self) -> int:  # repro: kernel
-        arena = self._arena
-        assert arena is not None
-        pes = np.flatnonzero(self._counts() > 0)
-        n = len(pes)
-        if n == 0:
-            return 0
-        self._cached_counts = None
-        sizes = arena.pop_tops(pes)
-        self._expanded += n
-        lens, flat = draw_children_batch(
-            self.rng, sizes, self.max_branching, self.leaf_probability
-        )
-        arena.push_segments(pes, lens, flat)
-        arena.reset_empty_windows()
-        return n
+        # The cycle body lives in repro.kernels.stack; the registry
+        # resolved the tier once at construction.  Every tier does its
+        # own pes selection, count-cache invalidation and bookkeeping
+        # against this workload, so the wrapper is a plain delegation.
+        return self._expand_kernel(self, self._kernel_ws)
 
     def _expand_cycle_list(self) -> int:
         with span("expand.stack.list"):

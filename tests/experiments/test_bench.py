@@ -53,12 +53,14 @@ class TestSearchKernelBench:
         report = bench_search_kernel(
             n_pes=32, scramble=30, bound_slack=10, warm_cycles=16, time_cycles=4
         )
-        # list-memo was retired (benched slower than the plain list).
-        assert set(report["backends"]) == {"list", "arena"}
+        # list-memo was retired (benched slower than the plain list);
+        # arena-fused is the kernel tier riding the same arena backend.
+        assert set(report["backends"]) == {"list", "arena", "arena-fused"}
         for row in report["backends"].values():
             assert row["nodes_per_s"] > 0
         assert report["backends_identical"] is True
         assert report["speedup_arena_vs_list"] > 0
+        assert report["speedup_fused_vs_arena"] > 0
 
 
 class TestRunSearchBench:

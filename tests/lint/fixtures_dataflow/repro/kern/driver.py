@@ -4,6 +4,13 @@
 ``TinyArena.push_masked`` through an instance-attribute alias — the
 exact call style the real kernels use.  The interprocedural pass must
 carry MASK_INDEX into ``push_masked``'s ``pes`` parameter.
+
+``fill_annotated`` and ``donate_through_param`` exercise the
+annotation-typed variants: a parameter annotated with a project class
+resolves directly, and an instance attribute read off such a parameter
+(``sched._arena``) resolves through the attribute-type table — the call
+style of the extracted kernel tier, where the workload arrives as an
+annotated function parameter instead of ``self``.
 """
 
 import numpy as np
@@ -20,3 +27,16 @@ class Scheduler:
         arena = self._arena
         arena.push_masked(pes, vals)
         return pes
+
+
+def fill_annotated(arena: TinyArena, alive, vals):  # repro: kernel
+    pes = np.flatnonzero(alive)
+    arena.push_masked(pes, vals)
+    return pes
+
+
+def donate_through_param(sched: Scheduler, counts, vals):  # repro: kernel
+    pes = np.flatnonzero(counts > 0)
+    arena = sched._arena
+    arena.push_masked(pes, vals)
+    return pes

@@ -163,7 +163,27 @@ class TestCallGraph:
         )
         assert project.callers_of(
             "repro.kern.mask_writes.TinyArena.push_masked"
-        ) == ["repro.kern.driver.Scheduler.donate"]
+        ) == [
+            "repro.kern.driver.Scheduler.donate",
+            "repro.kern.driver.donate_through_param",
+            "repro.kern.driver.fill_annotated",
+        ]
+
+    def test_annotated_param_call_resolves(self):
+        """A parameter annotated with a project class types the receiver."""
+        project = build_project(_fixture_entries())
+        assert (
+            "repro.kern.mask_writes.TinyArena.push_masked"
+            in project.call_graph["repro.kern.driver.fill_annotated"]
+        )
+
+    def test_attr_alias_through_annotated_receiver(self):
+        """``arena = sched._arena`` resolves when ``sched`` is annotated."""
+        project = build_project(_fixture_entries())
+        assert (
+            "repro.kern.mask_writes.TinyArena.push_masked"
+            in project.call_graph["repro.kern.driver.donate_through_param"]
+        )
 
     def test_return_provenance_crosses_functions(self):
         project = build_project(_fixture_entries())
