@@ -68,13 +68,24 @@ from repro.analysis import (
     isoefficiency_points,
     growth_exponent,
 )
-from repro.experiments.runner import run_divisible, run_grid, PAPER_SCALE, SMALL_SCALE
+from repro.experiments.runner import (
+    run_divisible,
+    run_grid,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    RetryPolicy,
+    QuarantineReport,
+)
+from repro.experiments.journal import CellJournal
 from repro.errors import (
     ReproError,
     ConfigError,
     FaultInjectionError,
     CheckpointCorruptError,
+    JournalCorruptError,
     GridCellError,
+    ExecutorFallbackWarning,
+    TimeoutUnenforcedWarning,
 )
 from repro.faults import (
     FaultPlan,
@@ -144,11 +155,17 @@ __all__ = [
     "run_grid",
     "PAPER_SCALE",
     "SMALL_SCALE",
+    "RetryPolicy",
+    "QuarantineReport",
+    "CellJournal",
     "ReproError",
     "ConfigError",
     "FaultInjectionError",
     "CheckpointCorruptError",
+    "JournalCorruptError",
     "GridCellError",
+    "ExecutorFallbackWarning",
+    "TimeoutUnenforcedWarning",
     "FaultPlan",
     "PEFailure",
     "Straggler",

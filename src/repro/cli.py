@@ -159,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a metrics-registry snapshot here (view with 'repro stats')",
     )
     grid.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead cell journal: each completed cell is durably "
+        "recorded here the moment it finishes",
+    )
+    grid.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in --journal (bit-identical to "
+        "an uninterrupted run)",
+    )
+    grid.add_argument(
         "--kernel-backend", default="numpy",
         choices=["auto", "numpy", "fused", "jit"],
         help="kernel tier for the batched executor's mega-arena "
@@ -543,6 +553,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError, GridCellError
     from repro.experiments.runner import run_grid
     from repro.experiments.store import save_records
 
@@ -551,11 +562,33 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    records = run_grid(
-        args.schemes, args.works, args.pes, base_seed=args.seed,
-        n_jobs=args.jobs, registry=registry, executor=args.executor,
-        kernel_backend=args.kernel_backend,
-    )
+    try:
+        records = run_grid(
+            args.schemes, args.works, args.pes, base_seed=args.seed,
+            n_jobs=args.jobs, registry=registry, executor=args.executor,
+            kernel_backend=args.kernel_backend,
+            journal=args.journal, resume=args.resume,
+        )
+    except ConfigError as exc:
+        print(f"repro grid: error: {exc}", file=sys.stderr)
+        return 2
+    except GridCellError as exc:
+        report = exc.quarantine
+        print(f"repro grid: error: {exc}", file=sys.stderr)
+        if report is not None:
+            hint = (
+                f" (rerun with --journal {args.journal} --resume to retry "
+                "only the quarantined cells)"
+                if args.journal
+                else ""
+            )
+            print(
+                f"repro grid: quarantined {len(report.failures)} of "
+                f"{report.n_cells} cell(s); {report.n_completed} "
+                f"completed{hint}",
+                file=sys.stderr,
+            )
+        return 1
     path = save_records(records, args.out)
     print(f"ran {len(records)} cells; saved to {path}")
     if registry is not None:

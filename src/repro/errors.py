@@ -14,12 +14,26 @@ failure categories:
   time (e.g. every PE dead while unexpanded work remains);
 - :class:`CheckpointCorruptError` — a checkpoint file failed its
   magic/length/CRC validation and must not be restored;
-- :class:`GridCellError` — a ``run_grid`` cell failed permanently after
-  the bounded retry budget; carries the structured per-cell report.
+- :class:`JournalCorruptError` — a write-ahead cell journal
+  (:mod:`repro.experiments.journal`) is corrupt beyond its recoverable
+  torn tail; subclasses :class:`CheckpointCorruptError` so callers that
+  already guard resume paths catch both;
+- :class:`GridCellError` — one or more ``run_grid`` cells failed
+  permanently after the bounded retry budget; carries the structured
+  per-cell report, every *completed* record, and a typed quarantine
+  summary, so a partially failed sweep degrades gracefully instead of
+  discarding finished work.
 
 The persistence layer (:mod:`repro.experiments.store`,
 :mod:`repro.obs.registry`) raises :class:`RecordStoreError` for corrupt
 or version-mismatched payloads.
+
+Two :class:`UserWarning` categories accompany the hierarchy so silent
+degradations become visible without aborting a sweep:
+:class:`ExecutorFallbackWarning` (``run_grid(executor="auto")`` picked a
+slower path than the batched executor) and
+:class:`TimeoutUnenforcedWarning` (a per-cell timeout was requested on a
+platform without ``signal.SIGALRM`` and cannot be enforced).
 """
 
 from __future__ import annotations
@@ -29,8 +43,11 @@ __all__ = [
     "ConfigError",
     "FaultInjectionError",
     "CheckpointCorruptError",
+    "JournalCorruptError",
     "GridCellError",
     "RecordStoreError",
+    "ExecutorFallbackWarning",
+    "TimeoutUnenforcedWarning",
 ]
 
 
@@ -54,6 +71,16 @@ class CheckpointCorruptError(ReproError):
     """A checkpoint file failed integrity validation on load."""
 
 
+class JournalCorruptError(CheckpointCorruptError):
+    """A write-ahead cell journal is corrupt beyond recovery.
+
+    A *torn tail* (a crash mid-append leaving a prefix of the final
+    frame) is recoverable by design and never raises; this error means
+    an interior frame failed its CRC, the header is unreadable, or the
+    schema version is unsupported — the file must not be replayed.
+    """
+
+
 class RecordStoreError(ReproError, ValueError):
     """A record file or metrics snapshot is corrupt or version-mismatched.
 
@@ -69,12 +96,50 @@ class GridCellError(ReproError):
     GridFailure` records when raised by the grid driver; a single-cell
     instance raised inside a worker (e.g. a per-cell timeout) carries an
     empty tuple.
+
+    When the grid driver raises after quarantining poison cells it also
+    attaches ``completed`` — every :class:`~repro.experiments.runner.
+    GridRecord` that *did* finish, in scheme-major order — and
+    ``quarantine``, a typed :class:`~repro.experiments.runner.
+    QuarantineReport`.  Together with the write-ahead journal this makes
+    a failed sweep resumable instead of lost.
     """
 
-    def __init__(self, message: str, failures: tuple = ()) -> None:
+    def __init__(
+        self,
+        message: str,
+        failures: tuple = (),
+        completed: tuple = (),
+        quarantine: object | None = None,
+    ) -> None:
         super().__init__(message)
         self.failures = tuple(failures)
+        self.completed = tuple(completed)
+        self.quarantine = quarantine
 
     def __reduce__(self):
         # Keep worker-raised instances picklable across the process pool.
-        return (type(self), (self.args[0], self.failures))
+        return (
+            type(self),
+            (self.args[0], self.failures, self.completed, self.quarantine),
+        )
+
+
+class ExecutorFallbackWarning(UserWarning):
+    """``run_grid(executor="auto")`` fell back from the batched executor.
+
+    Emitted with the concrete reason (unbatchable schemes, or per-cell
+    hardening routed to the process pool) so the silent slow-path pick
+    documented at the call site becomes visible; the same reason is
+    recorded in the grid's metrics registry when one is attached.
+    """
+
+
+class TimeoutUnenforcedWarning(UserWarning):
+    """A per-cell grid timeout cannot be enforced on this platform.
+
+    The in-worker watchdog uses ``signal.SIGALRM`` (POSIX only); where
+    it is missing the timeout bound silently did not hold historically.
+    Now the first affected ``run_grid`` call warns once per process and
+    the grid metadata records ``grid.timeout_enforced = 0``.
+    """

@@ -36,7 +36,7 @@ anything else loudly.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -147,6 +147,12 @@ class MegaGridExecutor:
         ``"numpy"`` (reference, default), ``"fused"``, ``"jit"`` or
         ``"auto"``.  One :class:`~repro.kernels.KernelWorkspace` is
         shared by the arena and all matchers.
+    on_cell_done:
+        Called as ``on_cell_done(plan, metrics)`` the cycle each cell
+        finishes — the write-ahead journal's hook, so an in-process
+        batched grid is durable cell-by-cell, not only at the end.
+        Strictly observational: the callback receives the finalized
+        metrics and must not mutate them.
     """
 
     def __init__(
@@ -157,12 +163,14 @@ class MegaGridExecutor:
         splitter: WorkSplitter | None = None,
         sanitize: bool = False,
         kernel_backend: str = "numpy",
+        on_cell_done: "Callable[[CellPlan, RunMetrics], None] | None" = None,
     ) -> None:
         if not cells:
             raise ConfigError("MegaGridExecutor needs at least one cell")
         self.cost = cost_model if cost_model is not None else CostModel()
         self.splitter = splitter if splitter is not None else AlphaSplitter()
         self.sanitize = sanitize
+        self.on_cell_done = on_cell_done
         self.kernel_backend = resolve_backend(kernel_backend)
         self._kernel_ws = (
             KernelWorkspace() if self.kernel_backend != "numpy" else None
@@ -435,6 +443,8 @@ class MegaGridExecutor:
         if self.sanitize:
             self._sanity_finalize(c, metrics)
         self.results[run.plan.index] = metrics
+        if self.on_cell_done is not None:
+            self.on_cell_done(run.plan, metrics)
         self.live[c] = False
         self.in_main[c] = False
         run.in_init = False
@@ -483,6 +493,7 @@ def run_batched_cells(
     splitter: WorkSplitter | None = None,
     sanitize: bool = False,
     kernel_backend: str = "numpy",
+    on_cell_done: "Callable[[CellPlan, RunMetrics], None] | None" = None,
 ) -> dict[int, RunMetrics]:
     """Execute planned cells on one :class:`MegaGridExecutor`.
 
@@ -497,5 +508,6 @@ def run_batched_cells(
             splitter=splitter,
             sanitize=sanitize,
             kernel_backend=kernel_backend,
+            on_cell_done=on_cell_done,
         )
     return executor.run()

@@ -5,20 +5,42 @@ the paper's Table 2.  ``PAPER_SCALE`` is the CM-2 configuration verbatim
 (P = 8192, W up to 1.61e7 — fully affordable on the vectorized divisible
 workload); ``SMALL_SCALE`` divides both by 16 for quick test runs, and
 ``TINY_SCALE`` is for unit tests.
+
+Grid execution is durable and hardened (see ``docs/durability.md``):
+
+- ``run_grid(journal=path)`` records each completed cell into a
+  write-ahead :class:`~repro.experiments.journal.CellJournal`, and
+  ``resume=True`` skips journaled cells, bit-identically;
+- transient cell failures retry under a deterministic
+  :class:`RetryPolicy` (exponential backoff whose jitter is a pure
+  function of the cell seed — replayable, never wall-clock-derived);
+- cells that exhaust their retries are quarantined: the raised
+  :class:`~repro.errors.GridCellError` carries every *completed*
+  record and a typed :class:`QuarantineReport` instead of discarding
+  the sweep.
 """
 
 from __future__ import annotations
 
 import signal
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.config import Scheme, make_scheme, parse_scheme_spec
 from repro.core.metrics import RunMetrics
 from repro.core.scheduler import Scheduler
 from repro.core.splitting import WorkSplitter
-from repro.errors import ConfigError, GridCellError
+from repro.errors import (
+    ConfigError,
+    ExecutorFallbackWarning,
+    GridCellError,
+    TimeoutUnenforcedWarning,
+)
 from repro.experiments.batched import CellPlan, is_batchable, run_batched_cells
 from repro.faults import CheckpointConfig, FaultPlan, GridChaos
 from repro.obs import Observability
@@ -28,6 +50,9 @@ from repro.simd.machine import SimdMachine
 from repro.util.rng import spawn_child
 from repro.workmodel.divisible import DivisibleWorkload
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.experiments.journal import CellJournal
+
 __all__ = [
     "Scale",
     "PAPER_SCALE",
@@ -36,6 +61,8 @@ __all__ = [
     "GridRecord",
     "GridFailure",
     "GRID_EXECUTORS",
+    "RetryPolicy",
+    "QuarantineReport",
     "cell_seed",
     "plan_grid",
     "run_divisible",
@@ -46,7 +73,11 @@ __all__ = [
 #: Accepted ``run_grid(executor=...)`` values.  ``"auto"`` picks the
 #: batched executor whenever every cell supports it and no per-cell
 #: hardening (chaos / timeout) was requested, falling back to the
-#: process pool (``n_jobs > 1``) or the serial loop otherwise.
+#: process pool (``n_jobs > 1``) or the serial loop otherwise — and the
+#: fallback is announced with :class:`~repro.errors.
+#: ExecutorFallbackWarning` plus registry metadata, never silent.
+#: Explicit ``executor="batched"`` accepts ``timeout``/``chaos`` and
+#: enforces them at shard granularity through the worker pool.
 GRID_EXECUTORS = ("auto", "serial", "process", "batched")
 
 
@@ -184,6 +215,68 @@ class GridFailure:
     error: str
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry budget and backoff for grid cells.
+
+    ``delay(seed, attempt)`` is a **pure function** of its arguments —
+    exponential growth ``base_delay * 2^attempt`` capped at
+    ``max_delay``, then shrunk by up to ``jitter`` of itself using a
+    ``spawn_child(seed, attempt)`` draw.  No wall clock and no global
+    RNG ever enter the decision path, so a sweep's complete backoff
+    schedule is replayable from its cell seeds alone (and the strict
+    lint's RNG-provenance rules hold by construction).  Only the
+    ``time.sleep`` that *executes* a computed delay touches real time.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError(
+                "retry delays must be >= 0, got "
+                f"base_delay={self.base_delay} max_delay={self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, seed: int, attempt: int) -> float:
+        """Backoff seconds before retry number ``attempt`` (0-based) of
+        the cell seeded ``seed``.  Pure and replayable."""
+        bounded = min(self.max_delay, self.base_delay * (2.0**attempt))
+        if bounded <= 0.0 or self.jitter == 0.0:
+            return bounded
+        frac = float(spawn_child(seed, attempt).random())
+        return bounded * (1.0 - self.jitter * frac)
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """Summary of the poison cells a grid quarantined.
+
+    Attached to the :class:`~repro.errors.GridCellError` a failed sweep
+    raises, next to the ``completed`` records — the typed counterpart of
+    the human-readable per-cell report in the exception message.
+    """
+
+    failures: tuple[GridFailure, ...]
+    n_cells: int
+    n_completed: int
+    max_retries: int
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """Grid indices of the quarantined cells, ascending."""
+        return tuple(f.index for f in self.failures)
+
+
 def _run_grid_cell(
     payload: tuple,
 ) -> RunMetrics:
@@ -194,11 +287,13 @@ def _run_grid_cell(
     worker; the cost model and splitter pickle as-is.
 
     The per-cell ``timeout`` is enforced *inside* the worker with
-    ``SIGALRM`` (POSIX only; silently unenforced elsewhere) so a wedged
-    cell surfaces as a retryable :class:`~repro.errors.GridCellError`
-    instead of stalling the whole pool.  ``chaos`` is the deterministic
-    crash hook for the hardening tests; ``attempt`` rides along so chaos
-    can fire on attempt 0 and let the retry succeed.
+    ``SIGALRM`` (POSIX only; off-POSIX the parent warns with
+    :class:`~repro.errors.TimeoutUnenforcedWarning` instead of silently
+    dropping the bound) so a wedged cell surfaces as a retryable
+    :class:`~repro.errors.GridCellError` instead of stalling the whole
+    pool.  ``chaos`` is the deterministic crash hook for the hardening
+    tests; ``attempt`` rides along so chaos can fire on attempt 0 and
+    let the retry succeed.
     """
     (
         spec,
@@ -208,6 +303,7 @@ def _run_grid_cell(
         cost_model,
         splitter,
         init_threshold,
+        sanitize,
         timeout,
         chaos,
         index,
@@ -236,6 +332,7 @@ def _run_grid_cell(
             splitter=splitter,
             seed=seed,
             init_threshold=init_threshold,
+            sanitize=sanitize,
         )
     finally:
         if use_alarm:
@@ -290,8 +387,29 @@ def _run_grid_batch(payload: tuple) -> list[tuple[int, RunMetrics]]:
     Unlike the per-cell worker above, a shard carries *many* cells and
     rebuilds its schemes (spec strings) and MegaArena once — the spawn
     and rebuild cost is amortized over the whole batch.
+
+    Hardening is enforced at shard granularity: ``chaos`` fires before
+    the arena starts, once per cell index the shard carries (so the
+    same ``GridChaos(index=...)`` crashes the same work on every
+    executor), and ``timeout`` arms a single ``SIGALRM`` watchdog of
+    ``timeout * len(shard)`` seconds — the cells advance in lock-step,
+    so a per-cell budget scales to the shard it is packed into.  A
+    tripped watchdog raises a retryable
+    :class:`~repro.errors.GridCellError` naming the shard.
     """
-    shard, cost_model, splitter, kernel_backend = payload
+    (
+        shard,
+        cost_model,
+        splitter,
+        kernel_backend,
+        sanitize,
+        timeout,
+        chaos,
+        attempt,
+    ) = payload
+    if chaos is not None:
+        for row in shard:
+            chaos.maybe_trigger(row[0], attempt)
     plans = [
         CellPlan(
             index=index,
@@ -303,12 +421,31 @@ def _run_grid_batch(payload: tuple) -> list[tuple[int, RunMetrics]]:
         )
         for (index, spec, total_work, n_pes, seed, threshold) in shard
     ]
-    results = run_batched_cells(
-        plans,
-        cost_model=cost_model,
-        splitter=splitter,
-        kernel_backend=kernel_backend,
-    )
+    watchdog = None if timeout is None else timeout * len(shard)
+    use_alarm = watchdog is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        indices = [p.index for p in plans]
+
+        def _on_alarm(signum: int, frame: object) -> None:
+            raise GridCellError(
+                f"batched shard of {len(indices)} cell(s) "
+                f"{indices} timed out after {watchdog}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, watchdog)
+    try:
+        results = run_batched_cells(
+            plans,
+            cost_model=cost_model,
+            splitter=splitter,
+            sanitize=sanitize,
+            kernel_backend=kernel_backend,
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
     return sorted(results.items())
 
 
@@ -318,26 +455,118 @@ def _resolve_executor(
     n_jobs: int | None,
     timeout: float | None,
     chaos: GridChaos | None,
-) -> str:
-    """Pick the concrete execution path for this grid."""
+) -> tuple[str, list[tuple[str, str]]]:
+    """Pick the concrete execution path for this grid.
+
+    Returns ``(resolved, fallback_reasons)`` where the reasons — pairs
+    of a short machine code and a human sentence — are non-empty exactly
+    when ``"auto"`` declined the batched fast path; ``run_grid`` turns
+    them into an :class:`~repro.errors.ExecutorFallbackWarning` and
+    registry metadata.
+    """
     if executor not in GRID_EXECUTORS:
         raise ConfigError(
             f"executor must be one of {GRID_EXECUTORS}, got {executor!r}"
         )
-    if executor == "batched" and (timeout is not None or chaos is not None):
-        raise ConfigError(
-            "executor='batched' does not support per-cell timeout/chaos "
-            "hardening; use executor='process'"
-        )
     if executor == "process" and not (n_jobs is not None and n_jobs > 1):
         raise ConfigError("executor='process' requires n_jobs > 1")
     if executor != "auto":
-        return executor
-    if timeout is None and chaos is None and all(
-        is_batchable(p.scheme) for p in plans
-    ):
-        return "batched"
-    return "process" if n_jobs is not None and n_jobs > 1 else "serial"
+        return executor, []
+    reasons: list[tuple[str, str]] = []
+    if timeout is not None or chaos is not None:
+        reasons.append(
+            (
+                "hardening",
+                "per-cell timeout/chaos hardening was requested "
+                "(auto routes it to the per-cell pool; pass "
+                "executor='batched' for shard-level enforcement)",
+            )
+        )
+    unbatchable = sorted(
+        {p.scheme.name for p in plans if not is_batchable(p.scheme)}
+    )
+    if unbatchable:
+        reasons.append(
+            (
+                "unbatchable-scheme",
+                "scheme(s) the batched executor cannot replicate: "
+                + ", ".join(unbatchable),
+            )
+        )
+    if not reasons:
+        return "batched", []
+    return ("process" if n_jobs is not None and n_jobs > 1 else "serial"), reasons
+
+
+#: One-per-process latch for the off-POSIX timeout warning.
+_TIMEOUT_WARNING_EMITTED = False
+
+
+def _warn_timeout_unenforced() -> None:
+    global _TIMEOUT_WARNING_EMITTED
+    if _TIMEOUT_WARNING_EMITTED:
+        return
+    _TIMEOUT_WARNING_EMITTED = True
+    warnings.warn(
+        "run_grid(timeout=...) cannot be enforced on this platform: the "
+        "in-worker watchdog needs signal.SIGALRM (POSIX only).  Cells "
+        "run without a wall-clock bound; grid metadata records "
+        "grid.timeout_enforced = 0.",
+        TimeoutUnenforcedWarning,
+        stacklevel=3,
+    )
+
+
+def _raise_quarantine(
+    plans: list[CellPlan],
+    results: dict[int, RunMetrics],
+    failures: list[GridFailure],
+    max_retries: int,
+    registry: MetricsRegistry | None,
+    journal: "CellJournal | None",
+) -> None:
+    """Quarantine the poison cells: raise one :class:`GridCellError`
+    carrying the structured failures, every completed record (scheme-
+    major order), and a typed :class:`QuarantineReport` — graceful
+    degradation instead of a discarded sweep."""
+    failures.sort(key=lambda f: f.index)
+    completed = tuple(
+        GridRecord(p.scheme.name, p.n_pes, p.total_work, results[p.index])
+        for p in plans
+        if p.index in results
+    )
+    report = QuarantineReport(
+        failures=tuple(failures),
+        n_cells=len(plans),
+        n_completed=len(completed),
+        max_retries=max_retries,
+    )
+    if registry is not None:
+        registry.counter("grid.quarantined").inc(len(failures))
+    lines = [
+        f"run_grid: {len(failures)} of {len(plans)} cells failed "
+        f"after {max_retries} retries:"
+    ]
+    lines += [
+        f"  cell {f.index}: scheme={f.scheme!r} W={f.total_work} "
+        f"P={f.n_pes} attempts={f.attempts} last_error={f.error}"
+        for f in failures
+    ]
+    lines.append(
+        f"quarantined {len(failures)} poison cell(s); "
+        f"{len(completed)} completed record(s) attached on .completed"
+    )
+    if journal is not None:
+        lines.append(
+            f"completed cells are journaled in {journal.path}; rerun with "
+            "resume=True to retry only the quarantined cells"
+        )
+    raise GridCellError(
+        "\n".join(lines),
+        failures=tuple(failures),
+        completed=completed,
+        quarantine=report,
+    )
 
 
 def run_grid(
@@ -352,10 +581,14 @@ def run_grid(
     n_jobs: int | None = None,
     timeout: float | None = None,
     max_retries: int = 2,
+    retry: RetryPolicy | None = None,
     chaos: GridChaos | None = None,
     registry: MetricsRegistry | None = None,
     executor: str = "auto",
     kernel_backend: str = "numpy",
+    sanitize: bool = False,
+    journal: "str | Path | None" = None,
+    resume: bool = False,
 ) -> list[GridRecord]:
     """The full cross product of schemes x W x P (Figure 4/7 grids).
 
@@ -373,28 +606,50 @@ def run_grid(
     Table 1 schemes do; baseline schemes with opaque factories must use
     the serial path).
 
-    The parallel path is hardened against worker failure:
+    **Durability** — ``journal`` names a write-ahead
+    :class:`~repro.experiments.journal.CellJournal` file: every
+    completed cell is CRC-framed and fsynced into it the moment it
+    finishes, keyed by ``(spec, W, P, cell_seed, code_version)``.
+    ``resume=True`` replays the journal first and skips every cell it
+    already holds; because cells are pure functions of their key and
+    the journal round-trips records exactly, a killed-and-resumed grid
+    returns records **bit-identical** to an uninterrupted run.
+
+    The parallel paths are hardened against worker failure:
 
     - ``timeout`` bounds each cell's wall-clock seconds (enforced
-      in-worker via ``SIGALRM`` on POSIX);
-    - a cell that raises, times out, or loses its worker is retried up
-      to ``max_retries`` times **with the same** :func:`cell_seed`, so a
-      retried cell's record is identical to an undisturbed one;
+      in-worker via ``SIGALRM`` on POSIX; elsewhere a one-time
+      :class:`~repro.errors.TimeoutUnenforcedWarning` is emitted and
+      ``grid.timeout_enforced`` is recorded as 0 instead of silently
+      pretending the bound held);
+    - a cell that raises, times out, or loses its worker is retried
+      under ``retry`` (a :class:`RetryPolicy`; defaults to
+      ``RetryPolicy(max_retries=max_retries)``) **with the same**
+      :func:`cell_seed`, after a deterministic exponential backoff
+      whose jitter derives from the cell seed — so a retried cell's
+      record is identical to an undisturbed one and the whole backoff
+      schedule is replayable;
     - a ``BrokenProcessPool`` (worker killed hard) respawns the pool and
       requeues every unfinished in-flight cell, each charged one
       attempt and reported with its ``(scheme, W, P)`` coordinates;
-    - cells that exhaust their retries are collected into
-      :class:`GridFailure` records and raised together as one
-      :class:`~repro.errors.GridCellError` with a structured report.
+    - cells that exhaust their retries are **quarantined**: the raised
+      :class:`~repro.errors.GridCellError` carries the structured
+      :class:`GridFailure` list, every completed :class:`GridRecord`
+      (``.completed``), and a typed :class:`QuarantineReport`
+      (``.quarantine``) — with a journal attached the finished cells
+      are already durable and a ``resume=True`` rerun retries only the
+      poison cells.
 
     ``chaos`` injects deterministic worker crashes (exit/raise/hang) for
     testing this machinery; see :class:`repro.faults.chaos.GridChaos`.
 
     ``registry`` folds every cell's metrics into a
-    :class:`~repro.obs.registry.MetricsRegistry` (plus ``grid.cells_total``
-    and ``grid.retries_total`` counters).  Recording happens in the
-    parent process in cell-index order on every execution path, so all
-    executors produce identical snapshots.
+    :class:`~repro.obs.registry.MetricsRegistry` (plus ``grid.*``
+    operational counters: cells/retries totals, resumed and quarantined
+    cells, the resolved executor path and any auto-fallback reason, and
+    whether a requested timeout is enforceable).  Recording happens in
+    the parent process in cell-index order on every execution path, so
+    all executors produce identical snapshots.
 
     ``executor`` selects the execution strategy (:data:`GRID_EXECUTORS`):
     ``"batched"`` packs every compatible cell into one
@@ -404,147 +659,271 @@ def run_grid(
     spawn/rebuild); ``"process"`` is the per-cell pool; ``"serial"``
     forces the one-cell-at-a-time oracle; ``"auto"`` (default) picks
     batched whenever every cell supports it and no per-cell hardening
-    (``timeout``/``chaos``) was requested.
+    (``timeout``/``chaos``) was requested, warning
+    :class:`~repro.errors.ExecutorFallbackWarning` when it falls back.
+    Explicit ``executor="batched"`` *does* accept ``timeout``/``chaos``:
+    shards run in worker processes with a ``timeout * shard_size``
+    watchdog and per-cell-index chaos injection, and a crashed shard is
+    retried whole with its original seeds (cells journaled by finished
+    shards are replayed from the journal, not recomputed).  Chaos and
+    timeout apply to the pooled shard cells; unbatchable fallback cells
+    run serially in the parent, unhardened.
 
     ``kernel_backend`` selects the kernel tier the batched executor's
     mega-arena and matchers run on (``"numpy"`` reference by default,
     ``"fused"``/``"jit"``/``"auto"`` — see :mod:`repro.kernels`); the
     serial and process paths ignore it, and every tier is
     record-identical.
+
+    ``sanitize`` turns on the runtime invariant checks in every cell
+    (serial, pooled and batched paths alike); sanitized records are
+    bit-identical to unsanitized ones.
     """
-    if max_retries < 0:
-        raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+    if retry is None:
+        retry = RetryPolicy(max_retries=max_retries)
     if timeout is not None and timeout <= 0:
         raise ConfigError(f"timeout must be positive, got {timeout}")
+    if resume and journal is None:
+        raise ConfigError("run_grid(resume=True) requires journal=<path>")
     plans = plan_grid(
         schemes, works, pes, base_seed=base_seed, init_threshold=init_threshold
     )
-    cells = [(p.scheme, p.n_pes, p.total_work, p.seed) for p in plans]
-    resolved = _resolve_executor(executor, plans, n_jobs, timeout, chaos)
+    resolved, fallback_reasons = _resolve_executor(
+        executor, plans, n_jobs, timeout, chaos
+    )
+
+    cell_journal: "CellJournal | None" = None
+    if journal is not None:
+        # Imported lazily: journal.py imports store.py, which imports
+        # this module back for GridRecord.
+        from repro.experiments.journal import CellJournal
+
+        cell_journal = CellJournal(journal)
+
+    results: dict[int, RunMetrics] = {}
+    resumed = 0
+    if cell_journal is not None and resume:
+        for plan in plans:
+            record = cell_journal.lookup(plan)
+            if record is not None:
+                results[plan.index] = record.metrics
+                resumed += 1
+    todo = [p for p in plans if p.index not in results]
+
+    def on_done(plan: CellPlan, metrics: RunMetrics) -> None:
+        if cell_journal is not None:
+            cell_journal.record_cell(plan, metrics)
+
+    if fallback_reasons:
+        detail = "; ".join(human for _, human in fallback_reasons)
+        warnings.warn(
+            f"run_grid(executor='auto') fell back to {resolved!r}: {detail}",
+            ExecutorFallbackWarning,
+            stacklevel=2,
+        )
+    timeout_enforced = timeout is None or hasattr(signal, "SIGALRM")
+    if not timeout_enforced:
+        _warn_timeout_unenforced()
+    if registry is not None:
+        registry.counter("grid.executor", {"path": resolved}).inc()
+        for code, _ in fallback_reasons:
+            registry.counter("grid.executor_fallback", {"reason": code}).inc()
+        if timeout is not None:
+            registry.gauge("grid.timeout_enforced").set(
+                1.0 if timeout_enforced else 0.0
+            )
 
     if resolved == "batched":
-        return _run_grid_batched(
+        retries = _execute_batched(
+            todo,
             plans,
+            results,
+            on_done,
             cost_model=cost_model,
             splitter=splitter,
             n_jobs=n_jobs,
-            max_retries=max_retries,
+            timeout=timeout,
+            chaos=chaos,
+            retry=retry,
             registry=registry,
             kernel_backend=kernel_backend,
+            sanitize=sanitize,
+            journal=cell_journal,
         )
-
-    if resolved == "process":
-        for scheme, _, _, _ in cells:
-            try:
-                make_scheme(scheme.name)
-            except ValueError:
-                raise ConfigError(
-                    f"scheme {scheme.name!r} cannot be rebuilt from its spec; "
-                    "run_grid(n_jobs>1) supports spec-named schemes only — "
-                    "use the serial path"
-                ) from None
-
-        def payload_for(idx: int, attempt: int) -> tuple:
-            scheme, n_pes, total_work, seed = cells[idx]
-            return (
-                scheme.name,
-                total_work,
-                n_pes,
-                seed,
-                cost_model,
-                splitter,
-                init_threshold,
-                timeout,
-                chaos,
-                idx,
-                attempt,
-            )
-
-        results: dict[int, RunMetrics] = {}
-        failures: list[GridFailure] = []
-        attempts = [0] * len(cells)
-        pending = list(range(len(cells)))
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-        try:
-            while pending:
-                in_flight = {
-                    pool.submit(_run_grid_cell, payload_for(idx, attempts[idx])): idx
-                    for idx in pending
-                }
-                pending = []
-                pool_broken = False
-                for fut in as_completed(in_flight):
-                    idx = in_flight[fut]
-                    scheme, n_pes, total_work, _ = cells[idx]
-                    try:
-                        results[idx] = fut.result()
-                        continue
-                    except BrokenProcessPool:
-                        pool_broken = True
-                        error = (
-                            f"worker pool broke while cell {idx} "
-                            f"({scheme.name!r}, W={total_work}, P={n_pes}) "
-                            "was in flight"
-                        )
-                    except Exception as exc:
-                        error = f"{type(exc).__name__}: {exc}"
-                    attempts[idx] += 1
-                    if attempts[idx] > max_retries:
-                        failures.append(
-                            GridFailure(
-                                idx,
-                                scheme.name,
-                                n_pes,
-                                total_work,
-                                attempts[idx],
-                                error,
-                            )
-                        )
-                    else:
-                        pending.append(idx)
-                if pool_broken:
-                    # A hard worker death poisons every future in the old
-                    # pool; respawn and let the requeued cells rerun with
-                    # their original seeds.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=n_jobs)
-                pending.sort()
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-        if failures:
-            failures.sort(key=lambda f: f.index)
-            lines = [
-                f"run_grid: {len(failures)} of {len(cells)} cells failed "
-                f"after {max_retries} retries:"
-            ]
-            lines += [
-                f"  cell {f.index}: scheme={f.scheme!r} W={f.total_work} "
-                f"P={f.n_pes} attempts={f.attempts} last_error={f.error}"
-                for f in failures
-            ]
-            raise GridCellError("\n".join(lines), failures=tuple(failures))
-        records = [
-            GridRecord(scheme.name, n_pes, total_work, results[idx])
-            for idx, (scheme, n_pes, total_work, _) in enumerate(cells)
-        ]
-        _fold_grid_metrics(registry, records, retries=sum(attempts))
-        return records
-
-    records: list[GridRecord] = []
-    for scheme, n_pes, total_work, seed in cells:
-        metrics = run_divisible(
-            scheme,
-            total_work,
-            n_pes,
+    elif resolved == "process":
+        retries = _execute_process(
+            todo,
+            plans,
+            results,
+            on_done,
             cost_model=cost_model,
             splitter=splitter,
-            seed=seed,
-            init_threshold=init_threshold,
+            n_jobs=n_jobs,
+            timeout=timeout,
+            chaos=chaos,
+            retry=retry,
+            registry=registry,
+            sanitize=sanitize,
+            journal=cell_journal,
         )
-        records.append(GridRecord(scheme.name, n_pes, total_work, metrics))
-    _fold_grid_metrics(registry, records, retries=0)
+    else:
+        retries = _execute_serial(
+            todo,
+            results,
+            on_done,
+            cost_model=cost_model,
+            splitter=splitter,
+            sanitize=sanitize,
+        )
+
+    records = [
+        GridRecord(p.scheme.name, p.n_pes, p.total_work, results[p.index])
+        for p in plans
+    ]
+    _fold_grid_metrics(registry, records, retries=retries, resumed=resumed)
     return records
+
+
+def _execute_serial(
+    todo: list[CellPlan],
+    results: dict[int, RunMetrics],
+    on_done: Callable[[CellPlan, RunMetrics], None],
+    *,
+    cost_model: CostModel | None,
+    splitter: WorkSplitter | None,
+    sanitize: bool,
+) -> int:
+    """The one-cell-at-a-time oracle path (journals as it goes)."""
+    for plan in todo:
+        metrics = run_divisible(
+            plan.scheme,
+            plan.total_work,
+            plan.n_pes,
+            cost_model=cost_model,
+            splitter=splitter,
+            seed=plan.seed,
+            init_threshold=plan.init_threshold,
+            sanitize=sanitize,
+        )
+        results[plan.index] = metrics
+        on_done(plan, metrics)
+    return 0
+
+
+def _require_spec_named(plans: list[CellPlan], where: str) -> None:
+    for plan in plans:
+        try:
+            make_scheme(plan.scheme.name)
+        except ValueError:
+            raise ConfigError(
+                f"scheme {plan.scheme.name!r} cannot be rebuilt from its "
+                f"spec; {where} supports spec-named schemes only — use the "
+                "serial path"
+            ) from None
+
+
+def _execute_process(
+    todo: list[CellPlan],
+    plans: list[CellPlan],
+    results: dict[int, RunMetrics],
+    on_done: Callable[[CellPlan, RunMetrics], None],
+    *,
+    cost_model: CostModel | None,
+    splitter: WorkSplitter | None,
+    n_jobs: int | None,
+    timeout: float | None,
+    chaos: GridChaos | None,
+    retry: RetryPolicy,
+    registry: MetricsRegistry | None,
+    sanitize: bool,
+    journal: "CellJournal | None",
+) -> int:
+    """The per-cell process pool with retry, backoff and quarantine."""
+    _require_spec_named(todo, "run_grid(n_jobs>1)")
+    by_index = {p.index: p for p in todo}
+
+    def payload_for(plan: CellPlan, attempt: int) -> tuple:
+        return (
+            plan.scheme.name,
+            plan.total_work,
+            plan.n_pes,
+            plan.seed,
+            cost_model,
+            splitter,
+            plan.init_threshold,
+            sanitize,
+            timeout,
+            chaos,
+            plan.index,
+            attempt,
+        )
+
+    failures: list[GridFailure] = []
+    attempts: dict[int, int] = {p.index: 0 for p in todo}
+    pending = [p.index for p in todo]
+    pool = ProcessPoolExecutor(max_workers=n_jobs)
+    try:
+        while pending:
+            in_flight = {
+                pool.submit(
+                    _run_grid_cell, payload_for(by_index[idx], attempts[idx])
+                ): idx
+                for idx in pending
+            }
+            pending = []
+            delays: list[float] = []
+            pool_broken = False
+            for fut in as_completed(in_flight):
+                idx = in_flight[fut]
+                plan = by_index[idx]
+                try:
+                    metrics = fut.result()
+                    results[idx] = metrics
+                    on_done(plan, metrics)
+                    continue
+                except BrokenProcessPool:
+                    pool_broken = True
+                    error = (
+                        f"worker pool broke while cell {idx} "
+                        f"({plan.scheme.name!r}, W={plan.total_work}, "
+                        f"P={plan.n_pes}) was in flight"
+                    )
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                attempts[idx] += 1
+                if attempts[idx] > retry.max_retries:
+                    failures.append(
+                        GridFailure(
+                            idx,
+                            plan.scheme.name,
+                            plan.n_pes,
+                            plan.total_work,
+                            attempts[idx],
+                            error,
+                        )
+                    )
+                else:
+                    pending.append(idx)
+                    delays.append(retry.delay(plan.seed, attempts[idx] - 1))
+            if pool_broken:
+                # A hard worker death poisons every future in the old
+                # pool; respawn and let the requeued cells rerun with
+                # their original seeds.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=n_jobs)
+            pending.sort()
+            if pending and delays:
+                # One sleep per resubmission round — the *decision* (how
+                # long) came from RetryPolicy.delay, which is pure.
+                time.sleep(max(delays))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    if failures:
+        _raise_quarantine(
+            plans, results, failures, retry.max_retries, registry, journal
+        )
+    return sum(attempts.values())
 
 
 def _shard_plans(plans: list[CellPlan], n_shards: int) -> list[list[CellPlan]]:
@@ -560,16 +939,23 @@ def _shard_plans(plans: list[CellPlan], n_shards: int) -> list[list[CellPlan]]:
     return shards
 
 
-def _run_grid_batched(
+def _execute_batched(
+    todo: list[CellPlan],
     plans: list[CellPlan],
+    results: dict[int, RunMetrics],
+    on_done: Callable[[CellPlan, RunMetrics], None],
     *,
     cost_model: CostModel | None,
     splitter: WorkSplitter | None,
     n_jobs: int | None,
-    max_retries: int,
+    timeout: float | None,
+    chaos: GridChaos | None,
+    retry: RetryPolicy,
     registry: MetricsRegistry | None,
-    kernel_backend: str = "numpy",
-) -> list[GridRecord]:
+    kernel_backend: str,
+    sanitize: bool,
+    journal: "CellJournal | None",
+) -> int:
     """Execute planned cells through the mega-arena batched backend.
 
     Cells whose scheme the batched executor cannot replicate (opaque
@@ -578,29 +964,30 @@ def _run_grid_batched(
     ``n_jobs > 1`` the batchable cells are split into contiguous
     *shards* — each worker process rebuilds its schemes once and packs
     its whole shard into one arena, so spawn/rebuild cost is paid per
-    shard, not per cell.  A failed shard is retried whole with the same
-    seeds (records of a retried shard are identical to an undisturbed
-    one); shards that exhaust ``max_retries`` raise
-    :class:`~repro.errors.GridCellError` listing every cell.
+    shard, not per cell.  When hardening (``timeout``/``chaos``) is
+    requested the shard pool is always used (one shard without
+    ``n_jobs``), so an injected ``os._exit`` kills a worker, never the
+    parent, and the watchdog alarm runs in-worker.  A failed shard is
+    retried whole with the same seeds after a deterministic backoff
+    (records of a retried shard are identical to an undisturbed one);
+    shards that exhaust the retry budget are quarantined with every
+    completed record attached.
     """
-    batchable = [p for p in plans if is_batchable(p.scheme)]
-    fallback = [p for p in plans if not is_batchable(p.scheme)]
-    results: dict[int, RunMetrics] = {}
+    batchable = [p for p in todo if is_batchable(p.scheme)]
+    fallback = [p for p in todo if not is_batchable(p.scheme)]
     retries = 0
+    hardened = timeout is not None or chaos is not None
+    pooled = bool(batchable) and (
+        hardened or (n_jobs is not None and n_jobs > 1 and len(batchable) > 1)
+    )
 
-    if batchable and n_jobs is not None and n_jobs > 1 and len(batchable) > 1:
-        for plan in batchable:
-            try:
-                make_scheme(plan.scheme.name)
-            except ValueError:
-                raise ConfigError(
-                    f"scheme {plan.scheme.name!r} cannot be rebuilt from its "
-                    "spec; sharded batched execution supports spec-named "
-                    "schemes only — use the serial path"
-                ) from None
-        shards = _shard_plans(batchable, n_jobs)
+    if pooled:
+        _require_spec_named(batchable, "sharded batched execution")
+        n_shards = n_jobs if n_jobs is not None and n_jobs > 1 else 1
+        shards = _shard_plans(batchable, n_shards)
+        by_index = {p.index: p for p in batchable}
 
-        def payload_for(shard: list[CellPlan]) -> tuple:
+        def payload_for(shard: list[CellPlan], attempt: int) -> tuple:
             rows = [
                 (
                     p.index,
@@ -612,24 +999,38 @@ def _run_grid_batched(
                 )
                 for p in shard
             ]
-            return (rows, cost_model, splitter, kernel_backend)
+            return (
+                rows,
+                cost_model,
+                splitter,
+                kernel_backend,
+                sanitize,
+                timeout,
+                chaos,
+                attempt,
+            )
 
         attempts = [0] * len(shards)
         pending = list(range(len(shards)))
         failures: list[GridFailure] = []
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        pool = ProcessPoolExecutor(max_workers=n_shards)
         try:
             while pending:
                 in_flight = {
-                    pool.submit(_run_grid_batch, payload_for(shards[s])): s
+                    pool.submit(
+                        _run_grid_batch, payload_for(shards[s], attempts[s])
+                    ): s
                     for s in pending
                 }
                 pending = []
+                delays: list[float] = []
                 pool_broken = False
                 for fut in as_completed(in_flight):
                     s = in_flight[fut]
                     try:
-                        results.update(fut.result())
+                        for index, metrics in fut.result():
+                            results[index] = metrics
+                            on_done(by_index[index], metrics)
                         continue
                     except BrokenProcessPool:
                         pool_broken = True
@@ -637,7 +1038,7 @@ def _run_grid_batched(
                     except Exception as exc:
                         error = f"{type(exc).__name__}: {exc}"
                     attempts[s] += 1
-                    if attempts[s] > max_retries:
+                    if attempts[s] > retry.max_retries:
                         failures.extend(
                             GridFailure(
                                 p.index,
@@ -651,38 +1052,36 @@ def _run_grid_batched(
                         )
                     else:
                         pending.append(s)
+                        delays.append(
+                            retry.delay(shards[s][0].seed, attempts[s] - 1)
+                        )
                 if pool_broken:
                     pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=n_jobs)
+                    pool = ProcessPoolExecutor(max_workers=n_shards)
                 pending.sort()
+                if pending and delays:
+                    time.sleep(max(delays))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         retries = sum(attempts)
 
         if failures:
-            failures.sort(key=lambda f: f.index)
-            lines = [
-                f"run_grid: {len(failures)} of {len(plans)} cells failed "
-                f"after {max_retries} retries:"
-            ]
-            lines += [
-                f"  cell {f.index}: scheme={f.scheme!r} W={f.total_work} "
-                f"P={f.n_pes} attempts={f.attempts} last_error={f.error}"
-                for f in failures
-            ]
-            raise GridCellError("\n".join(lines), failures=tuple(failures))
-    elif batchable:
-        results.update(
-            run_batched_cells(
-                batchable,
-                cost_model=cost_model,
-                splitter=splitter,
-                kernel_backend=kernel_backend,
+            _raise_quarantine(
+                plans, results, failures, retry.max_retries, registry, journal
             )
+    elif batchable:
+        batch_results = run_batched_cells(
+            batchable,
+            cost_model=cost_model,
+            splitter=splitter,
+            sanitize=sanitize,
+            kernel_backend=kernel_backend,
+            on_cell_done=on_done,
         )
+        results.update(batch_results)
 
     for plan in fallback:
-        results[plan.index] = run_divisible(
+        metrics = run_divisible(
             plan.scheme,
             plan.total_work,
             plan.n_pes,
@@ -690,28 +1089,31 @@ def _run_grid_batched(
             splitter=splitter,
             seed=plan.seed,
             init_threshold=plan.init_threshold,
+            sanitize=sanitize,
         )
-
-    records = [
-        GridRecord(p.scheme.name, p.n_pes, p.total_work, results[p.index])
-        for p in plans
-    ]
-    _fold_grid_metrics(registry, records, retries=retries)
-    return records
+        results[plan.index] = metrics
+        on_done(plan, metrics)
+    return retries
 
 
 def _fold_grid_metrics(
-    registry: MetricsRegistry | None, records: list[GridRecord], *, retries: int
+    registry: MetricsRegistry | None,
+    records: list[GridRecord],
+    *,
+    retries: int,
+    resumed: int = 0,
 ) -> None:
     """Record a finished grid into ``registry`` (parent process only).
 
     Workers cannot share a registry object across process boundaries, so
-    both execution paths fold the returned records here, in index order
+    every execution path folds the returned records here, in index order
     — serial and parallel grids produce identical snapshots.
     """
     if registry is None:
         return
     registry.counter("grid.cells_total").inc(len(records))
     registry.counter("grid.retries_total").inc(retries)
+    if resumed:
+        registry.counter("grid.resumed_cells").inc(resumed)
     for record in records:
         record_run(registry, record.metrics)

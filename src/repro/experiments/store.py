@@ -34,11 +34,21 @@ from repro.errors import RecordStoreError
 from repro.experiments.runner import GridRecord
 from repro.simd.machine import TimeLedger
 
-__all__ = ["save_records", "load_records", "to_triples"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "record_to_dict",
+    "record_from_dict",
+    "save_records",
+    "load_records",
+    "to_triples",
+]
 
 #: Written by :func:`save_records`.  v2 added ``t_recovery``,
-#: ``n_recovery`` and optional per-record traces.
-_SCHEMA_VERSION = 2
+#: ``n_recovery`` and optional per-record traces.  Public because the
+#: write-ahead cell journal folds it into its content-addressed
+#: ``code_version`` (a record-schema bump must invalidate cached cells).
+SCHEMA_VERSION = 2
+_SCHEMA_VERSION = SCHEMA_VERSION  # historical alias
 
 #: Accepted by :func:`load_records` (v1 files predate the recovery
 #: ledger line and never carry traces).
@@ -76,7 +86,15 @@ def _trace_from_dict(data: dict) -> Trace:
     return trace
 
 
-def _record_to_dict(record: GridRecord, *, traces: bool) -> dict:
+def record_to_dict(record: GridRecord, *, traces: bool = False) -> dict:
+    """One record as its stable JSON-schema dict (shared with the journal).
+
+    The dict round-trips **bit-identically** through
+    :func:`record_from_dict`: ints are exact and floats serialize via
+    ``repr`` (shortest round-trip), so a reloaded ledger equals the
+    original float-for-float — the property the journal's
+    resume-identity guarantee rests on.
+    """
     m = record.metrics
     out = {
         "scheme": record.scheme,
@@ -100,7 +118,8 @@ def _record_to_dict(record: GridRecord, *, traces: bool) -> dict:
     return out
 
 
-def _record_from_dict(data: dict) -> GridRecord:
+def record_from_dict(data: dict) -> GridRecord:
+    """Rebuild a :class:`GridRecord` written by :func:`record_to_dict`."""
     ledger_data = dict(data["ledger"])
     ledger_data.setdefault("t_recovery", 0.0)  # absent in v1 files
     ledger = TimeLedger(**ledger_data)
@@ -141,8 +160,8 @@ def save_records(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
-        "schema_version": _SCHEMA_VERSION,
-        "records": [_record_to_dict(r, traces=traces) for r in records],
+        "schema_version": SCHEMA_VERSION,
+        "records": [record_to_dict(r, traces=traces) for r in records],
     }
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(payload, indent=1))
@@ -176,7 +195,7 @@ def load_records(path: str | Path) -> list[GridRecord]:
             f"(expected one of {supported})"
         )
     try:
-        return [_record_from_dict(d) for d in payload["records"]]
+        return [record_from_dict(d) for d in payload["records"]]
     except (KeyError, TypeError) as exc:
         raise RecordStoreError(f"{path} has malformed records: {exc}") from exc
 

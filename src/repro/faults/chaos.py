@@ -8,6 +8,13 @@ are exactly reproducible and the retried attempt is guaranteed clean,
 which is what lets the hardened grid assert that a retried cell's record
 equals the serial oracle's.
 
+Both pooled executors honor it: the per-cell ``"process"`` path calls
+:meth:`GridChaos.maybe_trigger` right before the cell's simulation, and
+the sharded ``"batched"`` path calls it at shard start for every cell
+index the shard carries with the *shard's* attempt number — so the same
+``GridChaos(index=...)`` crashes the same logical work on either
+executor, and a shard retried after a crash runs clean.
+
 Kinds:
 
 - ``"exit"`` — hard-kill the worker process (``os._exit``), which the

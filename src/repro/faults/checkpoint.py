@@ -44,6 +44,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CheckpointConfig",
+    "FRAME_HEADER",
+    "frame_payload",
+    "try_parse_frame",
+    "parse_frame",
     "write_checkpoint",
     "load_checkpoint",
     "load_scheduler",
@@ -51,8 +55,62 @@ __all__ = [
 ]
 
 MAGIC = b"REPROCKPT1\n"
-_HEADER = struct.Struct("<IQ")  # crc32, payload length
+#: One CRC frame header: crc32 of the payload (u32 LE), payload length
+#: (u64 LE).  Shared by checkpoints (one frame per file) and the
+#: write-ahead cell journal (many frames per file).
+FRAME_HEADER = struct.Struct("<IQ")
+_HEADER = FRAME_HEADER  # historical alias
 _VERSION = 1
+
+
+def frame_payload(blob: bytes) -> bytes:
+    """CRC-frame one payload: ``crc32 | length | payload`` bytes."""
+    return FRAME_HEADER.pack(zlib.crc32(blob), len(blob)) + blob
+
+
+def try_parse_frame(raw: bytes, offset: int) -> tuple[str, bytes | None, int]:
+    """Parse one CRC frame at ``offset`` without raising.
+
+    Returns ``(status, payload, next_offset)`` where status is:
+
+    - ``"ok"`` — intact frame; ``payload`` is its bytes and
+      ``next_offset`` the first byte after it;
+    - ``"short"`` — the buffer ends before the frame does (a torn tail:
+      the only artifact an interrupted append can leave);
+    - ``"crc"`` — the frame is complete but its payload fails the CRC
+      (bit rot or an interleaved writer — never a clean crash).
+
+    On non-``"ok"`` statuses ``payload`` is ``None`` and ``next_offset``
+    echoes ``offset`` (the last known-good boundary).
+    """
+    header_end = offset + FRAME_HEADER.size
+    if header_end > len(raw):
+        return "short", None, offset
+    crc, length = FRAME_HEADER.unpack_from(raw, offset)
+    payload_end = header_end + length
+    if payload_end > len(raw):
+        return "short", None, offset
+    payload = raw[header_end:payload_end]
+    if zlib.crc32(payload) != crc:
+        return "crc", None, offset
+    return "ok", payload, payload_end
+
+
+def parse_frame(
+    raw: bytes,
+    offset: int,
+    *,
+    where: str,
+    error: type[CheckpointCorruptError] = CheckpointCorruptError,
+) -> tuple[bytes, int]:
+    """Like :func:`try_parse_frame` but raising ``error`` on any defect."""
+    status, payload, next_offset = try_parse_frame(raw, offset)
+    if status == "short":
+        raise error(f"{where} is truncated (incomplete frame at byte {offset})")
+    if status == "crc":
+        raise error(f"{where} failed its CRC check (frame at byte {offset})")
+    assert payload is not None
+    return payload, next_offset
 
 
 @dataclass(frozen=True)
@@ -94,7 +152,7 @@ def write_checkpoint(scheduler: "Scheduler", path: str | Path) -> None:
         },
     }
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    framed = MAGIC + _HEADER.pack(zlib.crc32(blob), len(blob)) + blob
+    framed = MAGIC + frame_payload(blob)
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(framed)
@@ -121,18 +179,11 @@ def load_checkpoint(path: str | Path) -> dict[str, Any]:
         raise CheckpointCorruptError(
             f"{path} is not a checkpoint file (bad magic)"
         )
-    header = raw[len(MAGIC) : len(MAGIC) + _HEADER.size]
-    if len(header) < _HEADER.size:
-        raise CheckpointCorruptError(f"{path} is truncated (no header)")
-    crc, length = _HEADER.unpack(header)
-    blob = raw[len(MAGIC) + _HEADER.size :]
-    if len(blob) != length:
+    blob, end = parse_frame(raw, len(MAGIC), where=str(path))
+    if end != len(raw):
         raise CheckpointCorruptError(
-            f"{path} is truncated: payload is {len(blob)} bytes, "
-            f"header promises {length}"
+            f"{path} has {len(raw) - end} trailing bytes after its frame"
         )
-    if zlib.crc32(blob) != crc:
-        raise CheckpointCorruptError(f"{path} failed its CRC check")
     try:
         payload = pickle.loads(blob)
     except Exception as exc:

@@ -1,20 +1,42 @@
-"""run_grid under worker failure: timeout, retry, and pool loss.
+"""run_grid under worker failure: timeout, retry, backoff, and pool loss.
 
 ``GridChaos`` deterministically sabotages one cell on chosen attempts,
 exercising each failure path; in every recoverable case the final
 records must be **identical** to an undisturbed serial grid, because
 retries rerun the cell with the same ``cell_seed``.
+
+The executor is pinned to ``"process"`` where chaos/timeout hardening is
+exercised on the per-cell pool (``"auto"`` would warn about its batched
+fallback — that warning has its own tests below); the batched shard
+pool's hardening is covered in ``test_durability.py``.
 """
+
+import signal
 
 import pytest
 
-from repro.errors import ConfigError, GridCellError
-from repro.experiments.runner import GridFailure, run_grid
+from repro.errors import (
+    ConfigError,
+    ExecutorFallbackWarning,
+    GridCellError,
+    TimeoutUnenforcedWarning,
+)
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import (
+    GridFailure,
+    QuarantineReport,
+    RetryPolicy,
+    run_grid,
+)
 from repro.faults import GridChaos
+from repro.obs import MetricsRegistry
 
 SCHEMES = ["nGP-S0.75", "GP-DP"]
 WORKS = [1_500, 3_000]
 PES = [16]
+
+#: Fast backoff for chaos tests — same decision structure, tiny sleeps.
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.001, max_delay=0.002)
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +51,8 @@ def test_worker_raise_is_retried_with_same_seed(serial_oracle):
         PES,
         base_seed=7,
         n_jobs=2,
+        executor="process",
+        retry=FAST_RETRY,
         chaos=GridChaos(index=1, kind="raise", attempts=(0,)),
     )
     assert records == serial_oracle
@@ -44,6 +68,8 @@ def test_worker_death_respawns_pool_and_requeues(serial_oracle):
         PES,
         base_seed=7,
         n_jobs=2,
+        executor="process",
+        retry=FAST_RETRY,
         chaos=GridChaos(index=2, kind="exit", attempts=(0,)),
     )
     assert records == serial_oracle
@@ -56,13 +82,16 @@ def test_hung_cell_times_out_and_retries(serial_oracle):
         PES,
         base_seed=7,
         n_jobs=2,
+        executor="process",
         timeout=5.0,
+        retry=FAST_RETRY,
         chaos=GridChaos(index=3, kind="hang", attempts=(0,)),
     )
     assert records == serial_oracle
 
 
 def test_persistent_failure_raises_structured_report():
+    registry = MetricsRegistry()
     with pytest.raises(GridCellError) as excinfo:
         run_grid(
             SCHEMES,
@@ -70,7 +99,11 @@ def test_persistent_failure_raises_structured_report():
             PES,
             base_seed=7,
             n_jobs=2,
-            max_retries=1,
+            executor="process",
+            registry=registry,
+            retry=RetryPolicy(
+                max_retries=1, base_delay=0.001, max_delay=0.002
+            ),
             chaos=GridChaos(index=0, kind="raise", attempts=(0, 1)),
         )
     err = excinfo.value
@@ -84,6 +117,16 @@ def test_persistent_failure_raises_structured_report():
     assert failure.n_pes == PES[0]
     assert failure.attempts == 2
     assert "nGP-S0.75" in str(err)
+    # Graceful degradation: the other three cells' records ride along,
+    # and the typed quarantine report mirrors the text.
+    assert len(err.completed) == 3
+    assert all(r.metrics.total_work == r.total_work for r in err.completed)
+    assert isinstance(err.quarantine, QuarantineReport)
+    assert err.quarantine.indices == (0,)
+    assert err.quarantine.n_cells == 4
+    assert err.quarantine.n_completed == 3
+    assert err.quarantine.max_retries == 1
+    assert registry.counter("grid.quarantined").value == 1
 
 
 def test_retry_and_timeout_config_validated():
@@ -91,6 +134,10 @@ def test_retry_and_timeout_config_validated():
         run_grid(SCHEMES, WORKS, PES, max_retries=-1)
     with pytest.raises(ConfigError):
         run_grid(SCHEMES, WORKS, PES, timeout=0.0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_delay=-0.1)
 
 
 def test_chaos_validation():
@@ -98,3 +145,113 @@ def test_chaos_validation():
         GridChaos(index=0, kind="segfault")
     with pytest.raises(ConfigError):
         GridChaos(index=-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_replayable(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.05, max_delay=1.0)
+        schedule = [policy.delay(1234, a) for a in range(4)]
+        # Pure function of (seed, attempt): replaying gives the same floats.
+        assert schedule == [policy.delay(1234, a) for a in range(4)]
+        # A different cell seed de-synchronizes the jitter.
+        assert schedule != [policy.delay(4321, a) for a in range(4)]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.05, max_delay=0.2, jitter=0.0)
+        assert [policy.delay(0, a) for a in range(4)] == [
+            0.05,
+            0.1,
+            0.2,
+            0.2,
+        ]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.08, max_delay=1.0, jitter=0.5)
+        for attempt in range(3):
+            d = policy.delay(99, attempt)
+            full = min(1.0, 0.08 * 2**attempt)
+            assert full * 0.5 <= d <= full
+
+
+class TestFallbackVisibility:
+    def test_auto_hardening_fallback_warns_and_records(self):
+        registry = MetricsRegistry()
+        with pytest.warns(ExecutorFallbackWarning, match="timeout/chaos"):
+            run_grid(
+                SCHEMES[:1],
+                [400],
+                [8],
+                base_seed=1,
+                timeout=30.0,
+                registry=registry,
+            )
+        snap = registry.snapshot()["counters"]
+        assert snap["grid.executor{path=serial}"] == 1
+        assert snap["grid.executor_fallback{reason=hardening}"] == 1
+
+    def test_auto_unbatchable_fallback_warns_with_scheme_name(self):
+        from repro.baselines.fess_fegs import fess_scheme
+
+        registry = MetricsRegistry()
+        with pytest.warns(ExecutorFallbackWarning, match="FESS"):
+            run_grid([fess_scheme()], [400], [8], registry=registry)
+        snap = registry.snapshot()["counters"]
+        assert snap["grid.executor_fallback{reason=unbatchable-scheme}"] == 1
+
+    def test_batched_fast_path_does_not_warn(self):
+        import warnings as _warnings
+
+        registry = MetricsRegistry()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", ExecutorFallbackWarning)
+            run_grid(SCHEMES[:1], [400], [8], base_seed=1, registry=registry)
+        snap = registry.snapshot()["counters"]
+        assert snap["grid.executor{path=batched}"] == 1
+        assert not any(k.startswith("grid.executor_fallback") for k in snap)
+
+
+class TestTimeoutEnforcement:
+    def test_posix_timeout_reports_enforced(self):
+        registry = MetricsRegistry()
+        run_grid(
+            SCHEMES[:1],
+            [400],
+            [8],
+            base_seed=1,
+            executor="serial",
+            timeout=30.0,
+            registry=registry,
+        )
+        assert registry.snapshot()["gauges"]["grid.timeout_enforced"] == 1.0
+
+    def test_off_posix_timeout_warns_once_and_flags_metadata(self, monkeypatch):
+        monkeypatch.delattr(signal, "SIGALRM")
+        monkeypatch.setattr(runner_mod, "_TIMEOUT_WARNING_EMITTED", False)
+        registry = MetricsRegistry()
+        with pytest.warns(TimeoutUnenforcedWarning, match="SIGALRM"):
+            run_grid(
+                SCHEMES[:1],
+                [400],
+                [8],
+                base_seed=1,
+                executor="serial",
+                timeout=30.0,
+                registry=registry,
+            )
+        assert registry.snapshot()["gauges"]["grid.timeout_enforced"] == 0.0
+        # The warning is a one-per-process latch; the metadata is not.
+        import warnings as _warnings
+
+        registry2 = MetricsRegistry()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", TimeoutUnenforcedWarning)
+            run_grid(
+                SCHEMES[:1],
+                [400],
+                [8],
+                base_seed=1,
+                executor="serial",
+                timeout=30.0,
+                registry=registry2,
+            )
+        assert registry2.snapshot()["gauges"]["grid.timeout_enforced"] == 0.0
