@@ -310,6 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="describe the rules and exit"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the content-addressed experiment service (POST /solve, "
+        "POST /grid, GET /jobs, GET /records; identical re-submissions "
+        "are served from the shared record store)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port; 0 picks a free one (default: 8642)",
+    )
+    serve.add_argument(
+        "--store", default="serve-data",
+        help="service root: record store + per-job artifacts (default: "
+        "serve-data/)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default: 2)"
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=32,
+        help="queued-plus-running job bound; beyond it submissions get "
+        "429 (default: 32)",
+    )
+    serve.add_argument(
+        "--backend", choices=["auto", "stdlib", "fastapi"], default="auto",
+        help="HTTP backend; 'auto' uses fastapi when importable, else "
+        "the stdlib server (default: auto)",
+    )
+
     return parser
 
 
@@ -805,6 +837,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code(result)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ExperimentService, create_server, have_fastapi
+    from repro.serve.app import serve_forever
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "fastapi" if have_fastapi() else "stdlib"
+    if backend == "fastapi" and not have_fastapi():
+        print(
+            "repro serve: error: --backend fastapi, but fastapi is not "
+            "installed (use --backend stdlib)",
+            file=sys.stderr,
+        )
+        return 2
+    service = ExperimentService(
+        args.store, workers=args.workers, max_pending=args.max_pending
+    )
+    if backend == "fastapi":  # pragma: no cover - optional dependency
+        import uvicorn
+
+        from repro.serve import create_fastapi_app
+
+        app = create_fastapi_app(service)
+        print(f"repro serve [fastapi] on http://{args.host}:{args.port}")
+        print(f"store: {service.store.root}  ({len(service.store)} records)")
+        try:
+            uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
+        finally:
+            service.close()
+        return 0
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"repro serve [stdlib] on http://{host}:{port}")
+    print(f"store: {service.store.root}  ({len(service.store)} records)")
+    serve_forever(server)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -823,6 +893,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "isoeff": lambda: _cmd_isoeff(args),
         "report": lambda: _cmd_report(args),
         "lint": lambda: _cmd_lint(args),
+        "serve": lambda: _cmd_serve(args),
     }
     return handlers[args.command]()
 

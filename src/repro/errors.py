@@ -28,6 +28,12 @@ The persistence layer (:mod:`repro.experiments.store`,
 :mod:`repro.obs.registry`) raises :class:`RecordStoreError` for corrupt
 or version-mismatched payloads.
 
+The experiment service (:mod:`repro.serve`) adds a :class:`ServeError`
+family that maps one-to-one onto HTTP responses:
+:class:`BadRequestError` (400), :class:`JobNotFoundError` /
+:class:`RecordNotFoundError` (404), and :class:`QueueFullError` (429,
+the bounded job queue's backpressure signal).
+
 Two :class:`UserWarning` categories accompany the hierarchy so silent
 degradations become visible without aborting a sweep:
 :class:`ExecutorFallbackWarning` (``run_grid(executor="auto")`` picked a
@@ -46,6 +52,11 @@ __all__ = [
     "JournalCorruptError",
     "GridCellError",
     "RecordStoreError",
+    "ServeError",
+    "BadRequestError",
+    "JobNotFoundError",
+    "RecordNotFoundError",
+    "QueueFullError",
     "ExecutorFallbackWarning",
     "TimeoutUnenforcedWarning",
 ]
@@ -123,6 +134,48 @@ class GridCellError(ReproError):
             type(self),
             (self.args[0], self.failures, self.completed, self.quarantine),
         )
+
+
+class ServeError(ReproError):
+    """Base of the experiment service's typed request/queue failures.
+
+    Every subclass carries ``status`` — the HTTP status code the serve
+    adapters answer with — so the framework-specific handlers contain
+    no error-classification logic of their own.
+    """
+
+    status = 500
+
+
+class BadRequestError(ServeError, ValueError):
+    """A submitted job payload is malformed or fails validation (400)."""
+
+    status = 400
+
+
+class JobNotFoundError(ServeError):
+    """``GET /jobs/{id}`` named a job the service has never seen (404)."""
+
+    status = 404
+
+
+class RecordNotFoundError(ServeError):
+    """``GET /records/{key}`` named a key the store does not hold (404)."""
+
+    status = 404
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue refused a submission (429).
+
+    Backpressure is explicit by design: when ``max_pending`` jobs are
+    already queued or running, new work is rejected with this error
+    instead of growing an unbounded backlog — the client retries, and
+    cached re-submissions still succeed because cache hits never enter
+    the queue.
+    """
+
+    status = 429
 
 
 class ExecutorFallbackWarning(UserWarning):

@@ -18,8 +18,10 @@ On-disk format — append-only, CRC-framed (the checkpoint layer's frame,
 
 The first frame is the header ``{"schema", "code_version"}``; every
 later frame is one completed cell ``{"key", "index", "record"}``.  The
-file is *created* atomically via the ``store.py`` tmp + ``os.replace``
-pattern; each append is a single framed write followed by ``fsync``, so
+file is *created* durably via :func:`repro.util.atomic.
+atomic_write_bytes` (unique staged temp, file fsync, ``os.replace``,
+parent-directory fsync); each append is a single framed write followed
+by ``fsync``, so
 an interrupted append can only ever leave a **torn tail** — a prefix of
 the final frame.  Opening an existing journal replays every intact
 frame, then truncates the torn tail away so the next append starts at a
@@ -58,6 +60,7 @@ from repro.experiments.store import (
 )
 from repro.faults.checkpoint import frame_payload, try_parse_frame
 from repro.obs.profile import span
+from repro.util.atomic import atomic_write_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.metrics import RunMetrics
@@ -233,9 +236,12 @@ class CellJournal:
         ).encode("utf-8")
         framed = MAGIC + frame_payload(header)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_bytes(framed)
-        os.replace(tmp, self.path)
+        # Unique staged temp + file fsync + replace + directory fsync:
+        # concurrent creators of the same journal path cannot clobber
+        # each other's staging, and a crash right after creation cannot
+        # lose the file (the "survives any crash" contract append()
+        # documents starts at the header frame).
+        atomic_write_bytes(self.path, framed)
 
     def _replay_existing(self) -> None:
         with span("journal.replay", cat="grid"):

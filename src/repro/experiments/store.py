@@ -8,14 +8,22 @@ misparsing.
 
 Two durability guarantees:
 
-- **Atomic replace** — :func:`save_records` writes to a sibling temp
-  file and ``os.replace``-s it into place (the checkpoint layer's
-  pattern), so a crash mid-write leaves the previous file intact
-  instead of a truncated JSON document.
+- **Atomic, concurrency-safe replace** — :func:`save_records` stages
+  the payload through :func:`repro.util.atomic.atomic_write_text`: a
+  *unique* ``mkstemp`` temp file (concurrent savers to the same path
+  can never clobber each other's staging), fsynced before the
+  ``os.replace`` and with the parent directory fsynced after it — so a
+  crash mid-write leaves the previous file intact, a crash right after
+  the replace cannot leave a short or unsynced target, and any number
+  of concurrent writers race only on which *complete* payload wins.
+  This is the concurrent-writer contract the serve layer's shared
+  :class:`~repro.serve.store.RecordStore` builds on.
 - **Typed load errors** — :func:`load_records` raises
   :class:`~repro.errors.RecordStoreError` (a ``ReproError`` that also
   subclasses ``ValueError``) on unreadable, corrupt, or
-  version-mismatched payloads, never a bare ``json.JSONDecodeError``.
+  version-mismatched payloads, never a bare ``json.JSONDecodeError``
+  (nor a bare ``ValueError``/``AttributeError`` from a structurally
+  valid payload holding malformed values).
 
 Traces are dropped by default (a full per-cycle series dwarfs the
 record it annotates); pass ``traces=True`` to persist each record's
@@ -25,7 +33,6 @@ ring-buffer contents and get them back from :func:`load_records`.
 from __future__ import annotations
 
 import json
-import os
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -33,6 +40,7 @@ from repro.core.metrics import RunMetrics, Trace
 from repro.errors import RecordStoreError
 from repro.experiments.runner import GridRecord
 from repro.simd.machine import TimeLedger
+from repro.util.atomic import atomic_write_text
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -154,8 +162,11 @@ def save_records(
 
     Traces are dropped unless ``traces=True`` (each record then carries
     its ring-buffer window; evicted cycles stay evicted).  The payload
-    is staged in a sibling temp file and moved into place with
-    ``os.replace``, so an interrupted save never clobbers ``path``.
+    is staged in a *unique* fsynced temp file and moved into place with
+    ``os.replace`` (parent directory fsynced after), so an interrupted
+    save never clobbers ``path``, a crash never loses the replace, and
+    concurrent savers to the same path are safe — see
+    :func:`repro.util.atomic.atomic_write_bytes`.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -163,10 +174,7 @@ def save_records(
         "schema_version": SCHEMA_VERSION,
         "records": [record_to_dict(r, traces=traces) for r in records],
     }
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1))
-    os.replace(tmp, path)
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_records(path: str | Path) -> list[GridRecord]:
@@ -196,7 +204,12 @@ def load_records(path: str | Path) -> list[GridRecord]:
         )
     try:
         return [record_from_dict(d) for d in payload["records"]]
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        # The broad catch is deliberate: a structurally valid payload can
+        # still hold malformed *values* (a ledger serialized as a string
+        # raises ValueError from dict(); a trace with maxlen 0 raises
+        # ValueError from Trace), and those must surface as the same
+        # typed RecordStoreError as any other corruption.
         raise RecordStoreError(f"{path} has malformed records: {exc}") from exc
 
 

@@ -15,9 +15,12 @@ On-disk format::
 where the payload is a pickle of one dict.  The scheme is stored as its
 spec string and rebuilt on load (``Scheme`` objects close over factory
 functions and do not pickle — the same reason ``run_grid`` workers
-rebuild schemes from specs).  Writes go to a temp file in the target
-directory followed by ``os.replace``, so a crash mid-write can never
-clobber the previous good checkpoint.  Any framing or CRC mismatch on
+rebuild schemes from specs).  Writes go through
+:func:`repro.util.atomic.atomic_write_bytes` — a unique fsynced temp
+file in the target directory, ``os.replace``, then a parent-directory
+fsync — so a crash mid-write can never clobber the previous good
+checkpoint, and a crash right after the write cannot lose the new one
+either.  Any framing or CRC mismatch on
 load raises :class:`~repro.errors.CheckpointCorruptError` — a torn or
 truncated file is refused, never half-restored.
 
@@ -28,7 +31,6 @@ it lazily.
 
 from __future__ import annotations
 
-import os
 import pickle
 import struct
 import zlib
@@ -37,6 +39,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import CheckpointCorruptError, ConfigError
+from repro.util.atomic import atomic_write_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.metrics import RunMetrics
@@ -153,10 +156,7 @@ def write_checkpoint(scheduler: "Scheduler", path: str | Path) -> None:
     }
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     framed = MAGIC + frame_payload(blob)
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(framed)
-    os.replace(tmp, path)
+    atomic_write_bytes(Path(path), framed)
     # Observability is optional and strictly observational; getattr keeps
     # this callable for scheduler-like objects without an obs field.
     obs = getattr(scheduler, "obs", None)

@@ -38,6 +38,7 @@ from repro.obs.events import (
     TraceEvent,
     event_from_dict,
     read_jsonl_events,
+    register_event_type,
 )
 from repro.obs.profile import (
     Profiler,
@@ -71,6 +72,7 @@ __all__ = [
     "RingBufferSink",
     "JsonlSink",
     "event_from_dict",
+    "register_event_type",
     "read_jsonl_events",
     # metrics
     "Counter",

@@ -40,6 +40,7 @@ __all__ = [
     "RingBufferSink",
     "JsonlSink",
     "event_from_dict",
+    "register_event_type",
     "read_jsonl_events",
 ]
 
@@ -138,6 +139,28 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
     for cls in (CycleEvent, LBPhaseEvent, RecoveryEvent, FaultEvent, IterationEvent)
 }
+
+
+def register_event_type(cls: type[TraceEvent]) -> type[TraceEvent]:
+    """Register a :class:`TraceEvent` subclass with the JSONL codec.
+
+    Layers above ``repro.obs`` (e.g. the serve layer's job-lifecycle
+    events) define their own event kinds; registering them here lets
+    :func:`event_from_dict` / :func:`read_jsonl_events` round-trip a
+    stream that interleaves them with the built-in cycle/LB events.
+    Usable as a class decorator; re-registering the same class is a
+    no-op, but a *different* class under an existing kind is refused.
+    """
+    kind = getattr(cls, "kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"{cls.__name__} needs a non-empty string 'kind'")
+    current = _EVENT_TYPES.get(kind)
+    if current is not None and current is not cls:
+        raise ValueError(
+            f"event kind {kind!r} is already registered to {current.__name__}"
+        )
+    _EVENT_TYPES[kind] = cls
+    return cls
 
 
 def event_from_dict(data: dict) -> TraceEvent:

@@ -170,15 +170,42 @@ class MetricsRegistry:
         }
 
     def save_json(self, path: str | Path) -> Path:
-        """Atomically write :meth:`snapshot` to ``path``."""
-        import os
+        """Durably write :meth:`snapshot` to ``path`` (unique staged
+        temp + fsyncs — safe against concurrent savers and crashes)."""
+        from repro.util.atomic import atomic_write_text
 
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.snapshot(), indent=1, sort_keys=True) + "\n")
-        os.replace(tmp, path)
-        return path
+        return atomic_write_text(
+            path, json.dumps(self.snapshot(), indent=1, sort_keys=True) + "\n"
+        )
+
+    def fold(self, other: "MetricsRegistry") -> None:
+        """Merge ``other``'s instruments into this registry.
+
+        Counters add, gauges take ``other``'s last-written value, and
+        histograms merge bucket-for-bucket (instruments must agree on
+        bucket bounds, which same-named instruments always do).  The
+        serve layer uses this to fold each job's private registry into
+        the service-wide one after the job finishes, so per-job
+        recording never races across worker threads.
+        """
+        for key, counter in other._counters.items():
+            self._counters.setdefault(key, Counter(key)).value += counter.value
+        for key, gauge in other._gauges.items():
+            self._gauges.setdefault(key, Gauge(key)).value = gauge.value
+        for key, hist in other._histograms.items():
+            mine = self._histograms.setdefault(
+                key, Histogram(key, tuple(hist.buckets))
+            )
+            if tuple(mine.buckets) != tuple(hist.buckets):
+                raise ValueError(
+                    f"cannot fold histogram {key}: bucket bounds differ"
+                )
+            mine.count += hist.count
+            mine.total += hist.total
+            for i, n in enumerate(hist.bucket_counts):
+                mine.bucket_counts[i] += n
 
 
 def load_snapshot(path: str | Path) -> dict:

@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG handling, validation helpers, table rendering."""
+"""Shared utilities: seeded RNG handling, validation helpers, table
+rendering, durable file publication."""
 
+from repro.util.atomic import atomic_write_bytes, atomic_write_text, fsync_dir
 from repro.util.rng import as_generator, spawn_child
 from repro.util.validation import check_probability, check_positive, check_positive_int
 from repro.util.tables import format_table
@@ -7,6 +9,9 @@ from repro.util.tables import format_table
 __all__ = [
     "as_generator",
     "spawn_child",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
     "check_probability",
     "check_positive",
     "check_positive_int",

@@ -112,6 +112,62 @@ class TestTypedLoadErrors:
         assert issubclass(RecordStoreError, ReproError)
 
 
+class TestCorruptValueGoldens:
+    """Structurally valid payloads holding malformed *values*.
+
+    These escape a ``(KeyError, TypeError)``-only catch: the defects
+    below raise ``ValueError`` from inside ``record_from_dict`` (ledger
+    coercion, trace reconstruction), which used to propagate untyped to
+    every ``load_records`` caller.  Each must surface as the typed
+    ``RecordStoreError`` instead.
+    """
+
+    @staticmethod
+    def _corrupted(records, tmp_path, mutate):
+        path = save_records(records[:1], tmp_path / "grid.json")
+        data = json.loads(path.read_text())
+        mutate(data["records"][0])
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_ledger_as_string(self, records, tmp_path):
+        # dict("abc") -> ValueError, not TypeError.
+        path = self._corrupted(
+            records, tmp_path, lambda r: r.update(ledger="abc")
+        )
+        with pytest.raises(RecordStoreError, match="malformed"):
+            load_records(path)
+
+    def test_ledger_as_list_of_strings(self, records, tmp_path):
+        # dict(["abc"]) -> "element #0 has length 3" ValueError.
+        path = self._corrupted(
+            records, tmp_path, lambda r: r.update(ledger=["abc"])
+        )
+        with pytest.raises(RecordStoreError, match="malformed"):
+            load_records(path)
+
+    def test_trace_with_zero_maxlen(self, tmp_path):
+        # Trace(maxlen=0) -> "trace maxlen must be >= 1" ValueError.
+        metrics = run_divisible("GP-DK", 2_000, 16, seed=2, trace=True)
+        record = GridRecord(
+            scheme="GP-DK", n_pes=16, total_work=2_000, metrics=metrics
+        )
+        path = save_records([record], tmp_path / "grid.json", traces=True)
+        data = json.loads(path.read_text())
+        data["records"][0]["trace"]["maxlen"] = 0
+        path.write_text(json.dumps(data))
+        with pytest.raises(RecordStoreError, match="malformed"):
+            load_records(path)
+
+    def test_original_cause_is_chained(self, records, tmp_path):
+        path = self._corrupted(
+            records, tmp_path, lambda r: r.update(ledger="abc")
+        )
+        with pytest.raises(RecordStoreError) as excinfo:
+            load_records(path)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
 class TestTracePersistence:
     def test_opt_in_round_trip(self, tmp_path):
         metrics = run_divisible("GP-DK", 3_000, 16, seed=2, trace=True)

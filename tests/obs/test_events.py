@@ -100,3 +100,54 @@ class TestJsonlSink:
         clone.emit(ALL_EVENTS[1])
         clone.close()
         assert read_jsonl_events(path) == ALL_EVENTS[:2]
+
+
+class TestRegisterEventType:
+    def test_round_trip_of_registered_kind(self, tmp_path):
+        from dataclasses import dataclass
+
+        from repro.obs.events import (
+            TraceEvent,
+            event_from_dict,
+            register_event_type,
+        )
+
+        @register_event_type
+        @dataclass(frozen=True)
+        class ProbeEvent(TraceEvent):
+            note: str = ""
+            kind = "test-probe"
+
+        original = ProbeEvent(cycle=3, note="hello")
+        rebuilt = event_from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_reregistering_same_class_is_noop(self):
+        from repro.serve.schemas import JobEvent
+        from repro.obs.events import register_event_type
+
+        assert register_event_type(JobEvent) is JobEvent
+
+    def test_conflicting_kind_is_refused(self):
+        from dataclasses import dataclass
+
+        from repro.obs.events import TraceEvent, register_event_type
+
+        @dataclass(frozen=True)
+        class Impostor(TraceEvent):
+            kind = "cycle"  # the built-in scheduler event's kind
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_event_type(Impostor)
+
+    def test_missing_kind_is_refused(self):
+        from dataclasses import dataclass
+
+        from repro.obs.events import TraceEvent, register_event_type
+
+        @dataclass(frozen=True)
+        class Unkinded(TraceEvent):
+            kind = ""
+
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_event_type(Unkinded)

@@ -102,3 +102,48 @@ class TestRecordRun:
         text = render_snapshot(registry.snapshot())
         assert text == render_snapshot(registry.snapshot())
         assert "runs_total" in text and "ledger.t_par{scheme=GP-DK}" in text
+
+
+class TestFold:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("nodes").inc(10)
+        b.counter("nodes").inc(32)
+        b.counter("lb.phases", {"scheme": "GP-DK"}).inc()
+        a.fold(b)
+        assert a.counter("nodes").value == 42
+        assert a.snapshot()["counters"]["lb.phases{scheme=GP-DK}"] == 1
+
+    def test_gauges_take_folded_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("eff").set(0.1)
+        b.gauge("eff").set(0.9)
+        a.fold(b)
+        assert a.gauge("eff").value == 0.9
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0, 5):
+            a.histogram("transfers", buckets=(1, 10)).observe(v)
+        for v in (1, 100):
+            b.histogram("transfers", buckets=(1, 10)).observe(v)
+        a.fold(b)
+        h = a.histogram("transfers", buckets=(1, 10))
+        assert h.count == 4
+        assert h.bucket_counts == [2, 1, 1]
+
+    def test_bucket_mismatch_is_refused(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("transfers", buckets=(1, 10)).observe(1)
+        b._histograms["transfers"] = type(a._histograms["transfers"])(
+            "transfers", (2, 20)
+        )
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.fold(b)
+
+    def test_fold_empty_is_identity(self):
+        a = MetricsRegistry()
+        a.counter("nodes").inc(7)
+        before = a.snapshot()
+        a.fold(MetricsRegistry())
+        assert a.snapshot() == before

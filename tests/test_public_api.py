@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.util",
+    "repro.serve",
     "repro.cli",
 ]
 

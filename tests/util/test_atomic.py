@@ -1,0 +1,89 @@
+"""Tests for repro.util.atomic — durable, concurrency-safe publication."""
+
+import os
+
+import pytest
+
+from repro.util.atomic import atomic_write_bytes, atomic_write_text, fsync_dir
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        returned = atomic_write_bytes(path, b"\x00\x01payload")
+        assert returned == path
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_writes_text_utf8(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "speedup → 1024 PEs")
+        assert path.read_text(encoding="utf-8") == "speedup → 1024 PEs"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left_on_success(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "data")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_unique_staging_names(self, tmp_path, monkeypatch):
+        """Two writers staging for one target never share a temp name —
+        the fixed-name ``.tmp`` race this helper replaces."""
+        staged = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            staged.append(os.path.basename(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "a")
+        atomic_write_text(path, "b")
+        assert len(staged) == 2
+        assert staged[0] != staged[1]
+        assert all(name.startswith("out.txt.") for name in staged)
+
+    def test_crash_before_replace_preserves_target_and_cleans_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "survivor")
+
+        def boom(src, dst):
+            raise OSError("simulated crash at publish")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, "lost update")
+        monkeypatch.undo()
+        assert path.read_text() == "survivor"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_parent_must_exist(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            atomic_write_text(tmp_path / "missing" / "out.txt", "data")
+
+
+class TestFsyncDir:
+    def test_syncs_existing_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_missing_directory_is_tolerated(self, tmp_path):
+        # Platforms where directories cannot be opened (or the dir is
+        # gone) must not turn a successful rename into a crash.
+        fsync_dir(tmp_path / "never-created")
+
+    def test_called_by_atomic_write(self, tmp_path, monkeypatch):
+        import repro.util.atomic as atomic_mod
+
+        synced = []
+        monkeypatch.setattr(
+            atomic_mod, "fsync_dir", lambda p: synced.append(str(p))
+        )
+        atomic_mod.atomic_write_text(tmp_path / "out.txt", "data")
+        assert synced == [str(tmp_path)]
